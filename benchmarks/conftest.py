@@ -1,0 +1,49 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper and checks
+the *shape* claims (who wins, by what factor, where crossovers fall);
+absolute numbers are printed side by side with the paper's.
+"""
+
+import pytest
+
+from repro.circuit.technology import CMOS018
+from repro.defects.behavior import DefectBehaviorModel
+from repro.march.library import TEST_11N
+from repro.memory.geometry import MemoryGeometry
+from repro.memory.sram import Sram
+from repro.stress import production_conditions
+from repro.tester.ate import VirtualTester
+from repro.tester.shmoo import ShmooRunner
+
+
+@pytest.fixture(scope="session")
+def tech():
+    return CMOS018
+
+
+@pytest.fixture(scope="session")
+def behavior(tech):
+    return DefectBehaviorModel(tech)
+
+
+@pytest.fixture(scope="session")
+def tester(behavior):
+    return VirtualTester(behavior)
+
+
+@pytest.fixture(scope="session")
+def conditions(tech):
+    return production_conditions(tech)
+
+
+@pytest.fixture(scope="session")
+def small_sram(tech):
+    """A small instance for shmoo sweeps (electrical model is
+    size-independent; the functional grid stays cheap)."""
+    return Sram(MemoryGeometry(8, 2, 4), tech)
+
+
+@pytest.fixture(scope="session")
+def shmoo_runner(tester):
+    return ShmooRunner(tester, TEST_11N)

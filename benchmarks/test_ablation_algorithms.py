@@ -1,0 +1,95 @@
+"""Ablation: march algorithm choice x stress condition.
+
+The paper's recommendation is "the best test algorithms combined with
+specific stress conditions".  This ablation separates the two axes:
+
+* functional fault coverage of the classical tests (algorithm axis),
+* resistive-defect coverage under stress conditions (condition axis) --
+  showing that even a strong algorithm (March SS, 22N) cannot buy back
+  the coverage a missing stress condition loses, while a cheap algorithm
+  (MATS++) under VLV beats an expensive one at Vnom for bridges.
+"""
+
+import pytest
+
+from repro.analysis.tables import render_coverage_matrix
+from repro.defects.models import BridgeSite, bridge
+from repro.faults.coverage import coverage_matrix
+from repro.faults.simulator import FunctionalFaultSimulator
+from repro.march.library import (
+    MARCH_CM,
+    MARCH_SS,
+    MATS_PLUS_PLUS,
+    TEST_11N,
+)
+
+TESTS = (MATS_PLUS_PLUS, MARCH_CM, TEST_11N, MARCH_SS)
+CLASSES = ("SAF", "TF", "AF", "CFin", "CFst", "DRDF", "dRDF")
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return coverage_matrix(TESTS, CLASSES, n_cells=8)
+
+
+def test_ablation_regeneration(benchmark):
+    result = benchmark.pedantic(
+        coverage_matrix, args=(TESTS, ("SAF", "TF"), 6),
+        rounds=1, iterations=1)
+    assert result
+
+
+class TestAlgorithmAxis:
+    def test_print_matrix(self, matrix):
+        print()
+        print(render_coverage_matrix(matrix))
+
+    def test_stronger_tests_dominate(self, matrix):
+        """Coverage never decreases going MATS++ -> March C- -> March SS
+        on the static classes."""
+        for fc in ("SAF", "TF", "AF", "CFin", "CFst"):
+            assert (matrix["MATS++"][fc].coverage
+                    <= matrix["March C-"][fc].coverage + 1e-9)
+            assert (matrix["March C-"][fc].coverage
+                    <= matrix["March SS"][fc].coverage + 1e-9)
+
+    def test_11n_close_to_march_cm_at_similar_cost(self, matrix):
+        """The production 11N (11N ops) trades little static coverage
+        against March C- (10N) while adding w-r at-speed pairs."""
+        for fc in ("SAF", "TF", "AF"):
+            assert matrix["11N"][fc].coverage == pytest.approx(
+                matrix["March C-"][fc].coverage)
+
+    def test_dynamic_faults_need_read_after_write(self, matrix):
+        """dRDF: 11N's r-after-w elements detect what March C- misses."""
+        assert (matrix["11N"]["dRDF"].coverage
+                > matrix["March C-"]["dRDF"].coverage)
+
+
+class TestConditionAxisBeatsAlgorithmAxis:
+    def test_cheap_test_at_vlv_beats_expensive_at_vnom(self, behavior,
+                                                       conditions):
+        """For a high-ohmic bridge population, ANY functional test at
+        Vnom scores zero while ANY at VLV scores full -- the algorithm
+        cannot substitute for the stress condition."""
+        defects = [bridge(BridgeSite.CELL_NODE_RAIL, 150e3, cell=i)
+                   for i in range(20)]
+        vlv_detect = sum(behavior.fails_condition(d, conditions["VLV"])
+                         for d in defects)
+        vnom_detect = sum(behavior.fails_condition(d, conditions["Vnom"])
+                          for d in defects)
+        assert vlv_detect == len(defects)
+        assert vnom_detect == 0
+
+    def test_detected_bridge_caught_by_both_algorithms(self, behavior,
+                                                       conditions):
+        """Once the stress condition manifests the defect, even the
+        6N MATS++ detects it -- stress does the hard part."""
+        from repro.defects.injection import to_functional_fault
+
+        d = bridge(BridgeSite.CELL_NODE_RAIL, 150e3, cell=3)
+        m = behavior.manifestation(d, conditions["VLV"])
+        sim = FunctionalFaultSimulator(8)
+        for test in (MATS_PLUS_PLUS, MARCH_SS):
+            fault = to_functional_fault(m, n_cells=8)
+            assert sim.detects(test, fault), test.name

@@ -1,0 +1,82 @@
+"""Ablation: estimator scaling with memory geometry.
+
+The estimator's whole point is answering geometry questions without
+re-running IFA: the paper's intro motivates it with growing embedded
+memory sizes endangering SoC-level DPM.  This ablation sweeps the four
+design parameters (#X, #Y, #B, #Z) and verifies the scaling laws.
+"""
+
+import pytest
+
+from repro.core.estimator import FaultCoverageEstimator
+from repro.core.flow import MemoryTestFlow
+from repro.memory.geometry import MemoryGeometry
+
+GEOMETRIES = {
+    "64 Kb": MemoryGeometry(256, 8, 32),
+    "256 Kb (Veqtor4)": MemoryGeometry(512, 16, 32),
+    "1 Mb": MemoryGeometry(1024, 32, 32),
+    "4 Mb": MemoryGeometry(2048, 64, 32),
+    "1 Mb x 4 blocks": MemoryGeometry(1024, 32, 32, blocks=4),
+}
+
+
+@pytest.fixture(scope="module")
+def estimator():
+    return MemoryTestFlow(MemoryGeometry(512, 16, 32),
+                          n_sites=3000).run().estimator
+
+
+@pytest.fixture(scope="module")
+def reports(estimator):
+    return {name: estimator.estimate(g, "bridge")
+            for name, g in GEOMETRIES.items()}
+
+
+def test_geometry_ablation_regeneration(benchmark, estimator):
+    report = benchmark(estimator.estimate, MemoryGeometry(1024, 32, 32),
+                       "bridge")
+    assert report.estimates
+
+
+class TestGeometryScaling:
+    def test_print_sweep(self, reports):
+        print()
+        print(f"{'memory':>18} {'yield %':>8} {'DPM(VLV)':>9} "
+              f"{'DPM(Vmax)':>10}")
+        for name, rep in reports.items():
+            print(f"{name:>18} {100 * rep.yield_fraction:>8.2f} "
+                  f"{rep.by_condition('VLV').dpm:>9.1f} "
+                  f"{rep.by_condition('Vmax').dpm:>10.1f}")
+
+    def test_yield_falls_with_size(self, reports):
+        """Y = exp(-A D0): the paper's equation (2)."""
+        y = [reports[k].yield_fraction
+             for k in ("64 Kb", "256 Kb (Veqtor4)", "1 Mb", "4 Mb")]
+        assert all(a > b for a, b in zip(y, y[1:]))
+
+    def test_dpm_grows_with_size(self, reports):
+        """Bigger memory, same coverage -> more escapes: why memory
+        dominance makes stress testing urgent (paper Section 1)."""
+        dpm = [reports[k].by_condition("VLV").dpm
+               for k in ("64 Kb", "256 Kb (Veqtor4)", "1 Mb", "4 Mb")]
+        assert all(a < b for a, b in zip(dpm, dpm[1:]))
+
+    def test_blocks_multiply_area(self, reports, estimator):
+        one = reports["1 Mb"]
+        four = reports["1 Mb x 4 blocks"]
+        assert four.yield_fraction == pytest.approx(
+            one.yield_fraction ** 4, rel=1e-6)
+
+    def test_ranking_invariant_across_sizes(self, reports):
+        """The stress-condition conclusion is geometry independent."""
+        for rep in reports.values():
+            assert rep.best_condition().condition == "VLV"
+            assert rep.dpm_ratio("Vmax", "VLV") > 3.0
+
+    def test_coverage_independent_of_size(self, reports):
+        """Fault coverage is a per-defect statistic; only yield/DPM
+        scale with the geometry."""
+        dcs = [rep.by_condition("VLV").defect_coverage
+               for rep in reports.values()]
+        assert max(dcs) - min(dcs) < 1e-9

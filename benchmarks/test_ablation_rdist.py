@@ -1,0 +1,88 @@
+"""Ablation: sensitivity of defect coverage / DPM to the fab
+resistance distribution.
+
+Table 1's defect coverage depends on the (substituted) fab R
+distribution.  This ablation sweeps the soft-bridge tail weight and
+shows which conclusions are robust (VLV best, order-of-magnitude gap)
+and which move (absolute DPM) -- exactly what DESIGN.md promises to
+document about the substitution.
+"""
+
+import pytest
+
+from repro.core.flow import MemoryTestFlow
+from repro.core.estimator import FaultCoverageEstimator
+from repro.defects.distribution import (
+    LognormalComponent,
+    ResistanceDistribution,
+)
+from repro.memory.geometry import VEQTOR4_INSTANCE
+
+
+def tail_distribution(tail_weight: float) -> ResistanceDistribution:
+    return ResistanceDistribution([
+        LognormalComponent(1.0 - tail_weight, 50.0, 1.2),
+        LognormalComponent(tail_weight, 8.0e3, 2.0),
+    ], name=f"tail={tail_weight:.2f}")
+
+
+@pytest.fixture(scope="module")
+def flow_result():
+    return MemoryTestFlow(VEQTOR4_INSTANCE, n_sites=3000).run()
+
+
+@pytest.fixture(scope="module")
+def reports(flow_result):
+    out = {}
+    for tail in (0.05, 0.15, 0.25, 0.40):
+        est = FaultCoverageEstimator(
+            flow_result.database,
+            bridge_distribution=tail_distribution(tail))
+        out[tail] = est.estimate(VEQTOR4_INSTANCE, "bridge")
+    return out
+
+
+def test_rdist_ablation_regeneration(benchmark, flow_result):
+    def run():
+        est = FaultCoverageEstimator(
+            flow_result.database, bridge_distribution=tail_distribution(0.2))
+        return est.estimate(VEQTOR4_INSTANCE, "bridge")
+    report = benchmark(run)
+    assert report.estimates
+
+
+class TestRdistSensitivity:
+    def test_print_sweep(self, reports):
+        print()
+        print(f"{'tail':>6} {'DC(VLV)%':>9} {'DC(Vmax)%':>10} "
+              f"{'Vmax/VLV DPM':>13}")
+        for tail, rep in reports.items():
+            print(f"{tail:>6.2f} "
+                  f"{100 * rep.by_condition('VLV').defect_coverage:>9.2f} "
+                  f"{100 * rep.by_condition('Vmax').defect_coverage:>10.2f} "
+                  f"{rep.dpm_ratio('Vmax', 'VLV'):>12.1f}x")
+
+    def test_vlv_best_under_every_distribution(self, reports):
+        """Robust conclusion: the condition ranking never flips."""
+        for rep in reports.values():
+            assert rep.best_condition().condition == "VLV"
+
+    def test_gap_stays_well_above_unity(self, reports):
+        for rep in reports.values():
+            assert rep.dpm_ratio("Vmax", "VLV") > 3.0
+
+    def test_heavier_tail_raises_all_escape_rates(self, reports):
+        """More high-ohmic bridges -> more escapes at every condition;
+        the relative gap narrows slightly (the deepest tail eventually
+        escapes even VLV) but stays near an order of magnitude."""
+        dpms = [reports[t].by_condition("Vmax").dpm for t in sorted(reports)]
+        assert all(a < b for a, b in zip(dpms, dpms[1:]))
+        ratios = [reports[t].dpm_ratio("Vmax", "VLV")
+                  for t in sorted(reports)]
+        assert all(r > 5.0 for r in ratios)
+
+    def test_absolute_dpm_moves_with_distribution(self, reports):
+        """Non-robust (documented): absolute DPM depends strongly on the
+        substituted distribution."""
+        dpms = [rep.by_condition("Vmax").dpm for rep in reports.values()]
+        assert max(dpms) > 2.0 * min(dpms)

@@ -1,0 +1,87 @@
+"""Ablation: temperature as a stress axis ([Schanstra 99]).
+
+The paper's stress conditions are voltage and frequency; the earlier
+industrial study it cites ([Schanstra 99], "Industrial Evaluation of
+Stress Combinations for March Tests applied to SRAMs") adds temperature.
+This ablation exercises the library's temperature model:
+
+* cold testing widens the VLV reach (higher VT -> weaker restore),
+* hot testing tightens timing slack (mobility) -> better at-speed
+  detection of delay opens,
+* hot testing accelerates leakage -> weaker pull-up opens already fail
+  retention.
+"""
+
+import pytest
+
+from repro.circuit.technology import CMOS018
+from repro.defects.behavior import DefectBehaviorModel
+from repro.defects.models import BridgeSite, OpenSite, open_defect
+from repro.stress import StressCondition
+
+COLD, ROOM, HOT = -40.0, 25.0, 85.0
+
+
+@pytest.fixture(scope="module")
+def behavior():
+    return DefectBehaviorModel(CMOS018)
+
+
+def test_temperature_regeneration(benchmark, behavior):
+    def sweep():
+        return [
+            behavior.bridge_critical_resistance(
+                BridgeSite.CELL_NODE_RAIL, 1.0, temperature=t)
+            for t in (COLD, ROOM, HOT)
+        ]
+    rs = benchmark(sweep)
+    assert len(rs) == 3
+
+
+class TestTemperatureShape:
+    def test_print_sweep(self, behavior):
+        print()
+        print(f"{'T (C)':>6} {'VLV rail R_crit (kohm)':>24}")
+        for t in (COLD, ROOM, HOT):
+            r = behavior.bridge_critical_resistance(
+                BridgeSite.CELL_NODE_RAIL, 1.0, temperature=t)
+            print(f"{t:>6.0f} {r / 1e3:>24.0f}")
+
+    def test_cold_widens_vlv_reach(self, behavior):
+        """Higher VT at cold -> the divider loses earlier -> larger
+        critical resistance at VLV."""
+        r_cold = behavior.bridge_critical_resistance(
+            BridgeSite.CELL_NODE_RAIL, 1.0, temperature=COLD)
+        r_room = behavior.bridge_critical_resistance(
+            BridgeSite.CELL_NODE_RAIL, 1.0, temperature=ROOM)
+        r_hot = behavior.bridge_critical_resistance(
+            BridgeSite.CELL_NODE_RAIL, 1.0, temperature=HOT)
+        assert r_cold > r_room > r_hot
+        assert r_cold > 1.3 * r_hot
+
+    def test_hot_tightens_atspeed_slack(self, behavior):
+        """A periphery open that passes at-speed at room temperature
+        fails it hot (delay grows with temperature)."""
+        d = open_defect(OpenSite.PERIPHERY_PATH, 5.2e6)
+        room = StressCondition("as-room", 1.8, 15e-9, temperature=ROOM)
+        hot = StressCondition("as-hot", 1.8, 15e-9, temperature=HOT)
+        assert not behavior.fails_condition(d, room)
+        assert behavior.fails_condition(d, hot)
+
+    def test_hot_exposes_weaker_pullup_opens(self, behavior):
+        """Retention: leakage doubles every ~20 K, so a pull-up open
+        below the room-temperature threshold fails when hot."""
+        d = open_defect(OpenSite.CELL_PULLUP, 0.8e6)
+        room = StressCondition("vlv-room", 1.0, 100e-9, temperature=ROOM)
+        hot = StressCondition("vlv-hot", 1.0, 100e-9, temperature=HOT)
+        assert not behavior.fails_condition(d, room)
+        assert behavior.fails_condition(d, hot)
+
+    def test_room_temperature_is_the_calibration_point(self, behavior):
+        """At 25 C the temperature model is exactly neutral (the paper's
+        experiments ran at room temperature)."""
+        r_with = behavior.bridge_critical_resistance(
+            BridgeSite.CELL_NODE_RAIL, 1.8, temperature=25.0)
+        r_default = behavior.bridge_critical_resistance(
+            BridgeSite.CELL_NODE_RAIL, 1.8)
+        assert r_with == r_default

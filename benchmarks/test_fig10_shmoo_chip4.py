@@ -1,0 +1,78 @@
+"""Benchmark: paper Figure 10 -- shmoo of Chip-4 (voltage-dependent
+timing failure).
+
+"In the case of Chip-4 ... the delay is also voltage dependent.  As the
+supply voltage is lowered, the pass-fail margin ... reduces; this is a
+similar observation to what happens when there is a delay fault in
+random logic.  Hence ... the defect in Chip-4 may be present in the
+periphery of the memory and not in the matrix."
+
+A periphery-path open: the added delay rides on gate delay, so the
+boundary slants -- longer passing periods needed at lower supply.
+"""
+
+import numpy as np
+import pytest
+
+from repro.defects.models import OpenSite, open_defect
+
+#: Chip-4's reconstructed defect: 6 Mohm open in a periphery path
+#: (12 ns of gate-delay-scaled added delay: fails the 15 ns at-speed
+#: condition at nominal supply, passes everything slower).
+CHIP4_DEFECT = open_defect(OpenSite.PERIPHERY_PATH, 6e6, cell=7)
+
+VOLTS = np.linspace(1.3, 2.2, 10)
+PERIODS = np.linspace(6e-9, 40e-9, 35)
+
+
+@pytest.fixture(scope="module")
+def plot(shmoo_runner, small_sram):
+    return shmoo_runner.run(small_sram, [CHIP4_DEFECT], VOLTS, PERIODS,
+                            "Figure 10: Chip-4")
+
+
+def test_fig10_regeneration(benchmark, shmoo_runner, small_sram):
+    result = benchmark(shmoo_runner.run, small_sram, [CHIP4_DEFECT],
+                       VOLTS[::2], PERIODS[::4])
+    assert (~result.passed).any()
+
+
+class TestFigure10Shape:
+    def test_render(self, plot):
+        print()
+        print(plot.render())
+
+    def test_boundary_not_vertical(self, plot):
+        """Unlike Chip-3, the boundary moves with supply."""
+        assert not plot.boundary_is_vertical()
+
+    def test_margin_shrinks_at_low_voltage(self, plot):
+        """The paper's random-logic-delay-fault signature."""
+        boundaries = {float(v): plot.min_passing_period(float(v))
+                      for v in (1.4, 1.8, 2.1)}
+        assert boundaries[1.4] > boundaries[1.8] > boundaries[2.1]
+        # And the voltage dependence is strong (>20 % across the range).
+        assert boundaries[1.4] > 1.2 * boundaries[2.1]
+
+    def test_atspeed_only_class(self, plot, conditions, shmoo_runner,
+                                small_sram):
+        """Passes the slow-period suite; fails the at-speed condition."""
+        from repro.tester.shmoo import default_period_axis, default_voltage_axis
+        wide = shmoo_runner.run(small_sram, [CHIP4_DEFECT],
+                                default_voltage_axis(),
+                                default_period_axis())
+        for name in ("VLV", "Vmin", "Vnom", "Vmax"):
+            cond = conditions[name]
+            assert wide.passes_at(cond.vdd, cond.period), name
+        atspeed = conditions["at-speed"]
+        assert not plot.passes_at(atspeed.vdd, atspeed.period)
+
+    def test_distinguishable_from_chip3(self, plot, shmoo_runner,
+                                        small_sram):
+        """The diagnosis the paper draws: Chip-3 (matrix, vertical) vs
+        Chip-4 (periphery, slanted) are structurally distinguishable
+        from their shmoos alone."""
+        from benchmarks.test_fig9_shmoo_chip3 import CHIP3_DEFECT
+        chip3 = shmoo_runner.run(small_sram, [CHIP3_DEFECT], VOLTS, PERIODS)
+        assert chip3.boundary_is_vertical()
+        assert not plot.boundary_is_vertical()

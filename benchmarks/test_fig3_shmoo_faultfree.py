@@ -1,0 +1,65 @@
+"""Benchmark: paper Figure 3 -- shmoo plot of a fault-free SRAM.
+
+The reference shmoo: the device passes the whole specified supply range
+at the standard 100 ns period, still passes VLV (1.0 V) at 100 ns, and
+the pass/fail boundary bends toward longer periods as Vdd drops (the
+alpha-power access-time curve) -- which is why VLV testing must run at
+reduced frequency (Section 4.1).
+"""
+
+import numpy as np
+import pytest
+
+from repro.tester.shmoo import default_period_axis, default_voltage_axis
+
+
+@pytest.fixture(scope="module")
+def plot(shmoo_runner, small_sram):
+    return shmoo_runner.run(small_sram, [], default_voltage_axis(),
+                            default_period_axis(), "Figure 3: fault-free")
+
+
+def test_fig3_regeneration(benchmark, shmoo_runner, small_sram):
+    result = benchmark(
+        shmoo_runner.run, small_sram, [],
+        default_voltage_axis(steps=8), default_period_axis(steps=12))
+    assert result.passed.any()
+
+
+class TestFigure3Shape:
+    def test_render(self, plot):
+        print()
+        print(plot.render())
+
+    def test_passes_all_corners_at_standard_period(self, plot, conditions):
+        for name in ("VLV", "Vmin", "Vnom", "Vmax"):
+            cond = conditions[name]
+            assert plot.passes_at(cond.vdd, cond.period), name
+
+    def test_passes_at_speed_at_nominal(self, plot):
+        """15 ns @ 1.8/1.95 V: the paper's at-speed characterisation on
+        fault-free parts."""
+        assert plot.passes_at(1.8, 15e-9)
+        assert plot.passes_at(2.0, 15e-9)
+
+    def test_fails_at_speed_at_vlv(self, plot):
+        """VLV at high frequency fails even fault-free: the trade-off
+        the paper highlights (test time vs quality)."""
+        assert not plot.passes_at(1.0, 10e-9)
+
+    def test_boundary_monotone(self, plot):
+        """Min passing period decreases monotonically with Vdd."""
+        periods = []
+        for v in np.linspace(1.0, 2.2, 8):
+            p = plot.min_passing_period(float(v))
+            assert p is not None
+            periods.append(p)
+        assert all(a >= b - 1e-12 for a, b in zip(periods, periods[1:]))
+
+    def test_boundary_steepens_below_vlv(self, plot):
+        """The access-time blow-up toward VT."""
+        p_low = plot.min_passing_period(0.9)
+        p_vlv = plot.min_passing_period(1.0)
+        p_nom = plot.min_passing_period(1.8)
+        assert p_low > 1.3 * p_vlv
+        assert p_vlv > 1.5 * p_nom

@@ -1,0 +1,69 @@
+"""Benchmark: paper Figure 4 -- shmoo of Chip-1 (fails at 1.0 V/100 ns).
+
+Chip-1 passes the complete standard suite (Vmin/Vnom/Vmax @ 100 ns) and
+is exposed *only* by VLV: a resistive bridge acting as a voltage divider
+becomes a stuck-at-1 below ~1.2 V.  The bitmap evidence (three failing
+march elements, same cell, always reading '0') is reproduced by the
+integration tests; here we regenerate the shmoo and its fail boundary.
+"""
+
+import pytest
+
+from repro.defects.models import BridgeSite, bridge
+from repro.march.library import TEST_11N
+from repro.stress import StressCondition
+from repro.tester.shmoo import default_period_axis, default_voltage_axis
+
+#: Chip-1's reconstructed defect: a ~240 kohm storage-node-to-VDD bridge,
+#: chosen so the fail boundary sits near the paper's ~1.2 V.
+CHIP1_DEFECT = bridge(BridgeSite.CELL_NODE_RAIL, 240e3, polarity=1, cell=13)
+
+
+@pytest.fixture(scope="module")
+def plot(shmoo_runner, small_sram):
+    return shmoo_runner.run(small_sram, [CHIP1_DEFECT],
+                            default_voltage_axis(),
+                            default_period_axis(), "Figure 4: Chip-1")
+
+
+def test_fig4_regeneration(benchmark, shmoo_runner, small_sram):
+    result = benchmark(
+        shmoo_runner.run, small_sram, [CHIP1_DEFECT],
+        default_voltage_axis(steps=8), default_period_axis(steps=12))
+    assert (~result.passed).any()
+
+
+class TestFigure4Shape:
+    def test_render(self, plot):
+        print()
+        print(plot.render())
+
+    def test_fails_vlv_at_100ns(self, plot):
+        assert not plot.passes_at(1.0, 100e-9)
+
+    def test_passes_standard_suite(self, plot, conditions):
+        for name in ("Vmin", "Vnom", "Vmax"):
+            cond = conditions[name]
+            assert plot.passes_at(cond.vdd, cond.period), name
+
+    def test_fail_boundary_near_1v2(self, plot):
+        """Paper: 'not sensitive enough at higher voltages (>1.2V)'."""
+        v_min = plot.min_passing_voltage(100e-9)
+        assert 1.1 <= v_min <= 1.5
+
+    def test_voltage_fail_region_frequency_independent(self, plot):
+        """Below the critical voltage the part fails at every period."""
+        for period in (20e-9, 50e-9, 100e-9):
+            assert not plot.passes_at(1.0, period)
+
+    def test_would_be_shipped_without_vlv(self, tester, small_sram,
+                                          conditions):
+        """The DPM argument in one assertion: the conventional flow
+        passes this part."""
+        standard = [conditions[n] for n in ("Vmin", "Vnom", "Vmax")]
+        results = [tester.test_device(small_sram, [CHIP1_DEFECT], TEST_11N,
+                                      c) for c in standard]
+        assert all(r.passed for r in results)
+        vlv = tester.test_device(small_sram, [CHIP1_DEFECT], TEST_11N,
+                                 conditions["VLV"])
+        assert not vlv.passed

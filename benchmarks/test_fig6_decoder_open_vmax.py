@@ -1,0 +1,71 @@
+"""Benchmark: paper Figure 6 -- the same decoder open detected at Vmax.
+
+Same faulty netlist and patterns as the Figure 5 bench, supply raised to
+Vmax: the dual-select window is unchanged (pure RC), but the disturb
+current through the wrongly-selected cells grows superlinearly with
+supply, so the victim flip time drops *below* the window -- the defect
+propagates to the outputs during a unique clock cycle, exactly the
+paper's observation.
+"""
+
+import pytest
+
+from repro.analysis.figures import render_waveforms
+from benchmarks.test_fig5_decoder_open_vnom import (
+    FIG56_DEFECT,
+    run_decoder_sim,
+)
+from repro.march.library import TEST_11N
+from repro.memory.geometry import MemoryGeometry
+from repro.memory.sram import Sram
+from repro.tester.bitmap import BitmapAnalyzer
+
+
+@pytest.fixture(scope="module")
+def vmax_sim(tech):
+    return run_decoder_sim(tech, tech.vdd_max)
+
+
+def test_fig6_regeneration(benchmark, tech):
+    _, window = benchmark.pedantic(
+        run_decoder_sim, args=(tech, tech.vdd_max, 0.25e-9),
+        rounds=1, iterations=1)
+    assert window > 0.0
+
+
+class TestFigure6Shape:
+    def test_render_waveforms(self, vmax_sim, tech):
+        waves, window = vmax_sim
+        print()
+        print(render_waveforms(waves, tech.vdd_max,
+                               title="Figure 6: decoder open @ Vmax"))
+        print(f"dual-select hazard window: {window * 1e9:.2f} ns")
+
+    def test_detected_at_vmax(self, vmax_sim, behavior, tech):
+        """The window now exceeds the flip time: detection."""
+        _, window = vmax_sim
+        assert window > behavior.decoder_disturb_flip_time(tech.vdd_max)
+
+    def test_window_voltage_independent(self, vmax_sim, tech):
+        """The hazard window itself barely moves between Vnom and Vmax
+        (it is an RC effect); only the disturb susceptibility changes."""
+        from benchmarks.test_fig5_decoder_open_vnom import run_decoder_sim
+        _, w_nom = run_decoder_sim(tech, tech.vdd_nominal, dt=0.25e-9)
+        _, w_max = run_decoder_sim(tech, tech.vdd_max, dt=0.25e-9)
+        assert w_max == pytest.approx(w_nom, abs=0.5e-9)
+
+    def test_unique_failing_cycle_at_outputs(self, tester, conditions,
+                                             behavior):
+        """Behaviour level: the manifested hazard produces wrong data at
+        the outputs in specific march-element cycles (the paper's
+        'detected during a unique clock cycle at q1 and q2')."""
+        geom = MemoryGeometry(8, 2, 4)
+        sram = Sram(geom, tester.behavior.tech)
+        defect = FIG56_DEFECT
+        result = tester.test_device(sram, [defect], TEST_11N,
+                                    conditions["Vmax"], quick=False)
+        assert not result.passed
+        diag = BitmapAnalyzer(geom, TEST_11N).diagnose(result.fails)
+        # Address-pair signature, specific march elements, reading '0'.
+        assert len(diag.failing_cells) <= 2
+        assert diag.element_signatures

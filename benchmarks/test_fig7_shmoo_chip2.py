@@ -1,0 +1,64 @@
+"""Benchmark: paper Figure 7 -- shmoo of Chip-2 (fails only at Vmax+).
+
+Chip-2 passes Vnom and VLV *irrespective of frequency* and fails only at
+high supply: the silicon counterpart of the Figure 5/6 decoder-open
+simulations.  The shmoo's fail region is a horizontal band at the top.
+"""
+
+import numpy as np
+import pytest
+
+from repro.defects.models import OpenSite, open_defect
+from repro.tester.shmoo import default_period_axis, default_voltage_axis
+
+#: Chip-2's reconstructed defect: a 500 kohm decoder-input open whose
+#: detection voltage lands between Vnom and Vmax.
+CHIP2_DEFECT = open_defect(OpenSite.DECODER_INPUT, 5e5, cell=9)
+
+
+@pytest.fixture(scope="module")
+def plot(shmoo_runner, small_sram):
+    return shmoo_runner.run(small_sram, [CHIP2_DEFECT],
+                            default_voltage_axis(),
+                            default_period_axis(), "Figure 7: Chip-2")
+
+
+def test_fig7_regeneration(benchmark, shmoo_runner, small_sram):
+    result = benchmark(
+        shmoo_runner.run, small_sram, [CHIP2_DEFECT],
+        default_voltage_axis(steps=8), default_period_axis(steps=12))
+    assert (~result.passed).any()
+
+
+class TestFigure7Shape:
+    def test_render(self, plot):
+        print()
+        print(plot.render())
+
+    def test_fails_at_and_above_vmax(self, plot):
+        for v in (2.0, 2.1, 2.2):
+            assert not plot.passes_at(v, 100e-9), v
+
+    def test_passes_vnom_and_vlv(self, plot):
+        assert plot.passes_at(1.8, 100e-9)
+        assert plot.passes_at(1.0, 100e-9)
+
+    def test_failure_frequency_independent(self, plot):
+        """Paper: 'fails only the Vmax test ... irrespective of test
+        frequency'."""
+        periods = plot.periods
+        row_fail = [not plot.passes_at(2.1, float(p)) for p in periods]
+        # Fails at every period where the fault-free part would pass.
+        fault_free_ok = [plot.min_passing_voltage(float(p)) is not None
+                         for p in periods]
+        assert all(f for f, ok in zip(row_fail, fault_free_ok) if ok)
+
+    def test_detection_voltage_boundary(self, plot, behavior):
+        """The shmoo boundary equals the behavioural detection voltage."""
+        v_detect = behavior.decoder_open_detection_voltage(CHIP2_DEFECT)
+        volts = plot.voltages
+        for v in volts:
+            if v < v_detect - 0.05 and v >= 1.0:
+                assert plot.passes_at(float(v), 100e-9)
+            if v > v_detect + 0.05:
+                assert not plot.passes_at(float(v), 100e-9)

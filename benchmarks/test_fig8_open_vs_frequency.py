@@ -1,0 +1,78 @@
+"""Benchmark: paper Figure 8 -- resistive open detection vs frequency.
+
+"Testing at 50 MHz a memory that operates at 100 MHz will detect
+resistive open defects above 4 Mohm ... all below 4 Mohm escape.  At
+100 MHz ... below 1.5 Mohm still escape.  Hence it is recommended to
+test at even relatively higher frequency than the specified speed."
+
+The bench sweeps the detectable-resistance floor over frequency and
+verifies both anchors, the monotone shape, and the escape-band
+behaviour with actual defect instances.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import render_frequency_curve
+from repro.defects.models import OpenSite, open_defect
+from repro.stress import StressCondition
+
+FREQUENCIES = np.array([25e6, 40e6, 50e6, 66e6, 100e6, 150e6, 200e6])
+
+
+@pytest.fixture(scope="module")
+def thresholds(behavior):
+    return [behavior.open_detection_threshold(1.0 / f) for f in FREQUENCIES]
+
+
+def test_fig8_regeneration(benchmark, behavior):
+    def sweep():
+        return [behavior.open_detection_threshold(1.0 / f)
+                for f in FREQUENCIES]
+    result = benchmark(sweep)
+    assert len(result) == len(FREQUENCIES)
+
+
+class TestFigure8Shape:
+    def test_render(self, thresholds):
+        print()
+        print(render_frequency_curve(FREQUENCIES, thresholds))
+
+    def test_paper_anchor_50mhz(self, behavior):
+        assert behavior.open_detection_threshold(20e-9) == pytest.approx(
+            4.0e6, rel=0.05)
+
+    def test_paper_anchor_100mhz(self, behavior):
+        assert behavior.open_detection_threshold(10e-9) == pytest.approx(
+            1.5e6, rel=0.05)
+
+    def test_monotone_decreasing(self, thresholds):
+        finite = [t for t in thresholds if t > 0]
+        assert all(a > b for a, b in zip(finite, finite[1:]))
+
+    def test_higher_than_specified_speed_helps(self, behavior):
+        """Testing at 200 MHz catches opens that escape at 100 MHz --
+        the paper's closing recommendation."""
+        assert (behavior.open_detection_threshold(5e-9)
+                < behavior.open_detection_threshold(10e-9))
+
+    def test_escape_band_with_defect_instances(self, behavior):
+        """A 2 Mohm open escapes the 50 MHz test, caught at 100 MHz;
+        a 5 Mohm open is caught by both; 1 Mohm escapes both."""
+        d_2m = open_defect(OpenSite.BITLINE_SEGMENT, 2e6)
+        d_5m = open_defect(OpenSite.BITLINE_SEGMENT, 5e6)
+        d_1m = open_defect(OpenSite.BITLINE_SEGMENT, 1e6)
+        at_50 = StressCondition("50MHz", 1.8, 20e-9)
+        at_100 = StressCondition("100MHz", 1.8, 10e-9)
+        assert not behavior.fails_condition(d_2m, at_50)
+        assert behavior.fails_condition(d_2m, at_100)
+        assert behavior.fails_condition(d_5m, at_50)
+        assert behavior.fails_condition(d_5m, at_100)
+        assert not behavior.fails_condition(d_1m, at_50)
+        assert not behavior.fails_condition(d_1m, at_100)
+
+    def test_slow_test_catches_almost_nothing(self, behavior):
+        """At the 10 MHz production-slow period only enormous opens
+        fail -- why at-speed is a distinct stress condition."""
+        thr = behavior.open_detection_threshold(100e-9)
+        assert thr > 20e6

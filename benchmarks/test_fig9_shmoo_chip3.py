@@ -1,0 +1,62 @@
+"""Benchmark: paper Figure 9 -- shmoo of Chip-3 (pure timing failure).
+
+"Irrespective of the supply voltage the device starts passing after a
+particular frequency (fail @ 16ns, pass @ 17ns clock period and
+above)."  A wire-RC-dominated resistive open: the added delay does not
+scale with supply, so the shmoo boundary is a vertical line.
+"""
+
+import numpy as np
+import pytest
+
+from repro.defects.models import OpenSite, open_defect
+
+#: Chip-3's reconstructed defect: a 3 Mohm bit-line-segment open whose
+#: R*C (12 ns) plus the 4 ns segment path puts the boundary at 16 ns.
+CHIP3_DEFECT = open_defect(OpenSite.BITLINE_SEGMENT, 3e6, cell=21)
+
+VOLTS = np.linspace(1.4, 2.2, 9)
+PERIODS = np.linspace(10e-9, 30e-9, 41)   # 0.5 ns resolution
+
+
+@pytest.fixture(scope="module")
+def plot(shmoo_runner, small_sram):
+    return shmoo_runner.run(small_sram, [CHIP3_DEFECT], VOLTS, PERIODS,
+                            "Figure 9: Chip-3")
+
+
+def test_fig9_regeneration(benchmark, shmoo_runner, small_sram):
+    result = benchmark(shmoo_runner.run, small_sram, [CHIP3_DEFECT],
+                       VOLTS[::2], PERIODS[::4])
+    assert (~result.passed).any()
+
+
+class TestFigure9Shape:
+    def test_render(self, plot):
+        print()
+        print(plot.render())
+
+    def test_boundary_vertical(self, plot):
+        assert plot.boundary_is_vertical()
+
+    def test_fail_at_16ns_pass_at_17ns(self, plot):
+        """The paper's exact numbers, at every plotted voltage."""
+        for v in VOLTS:
+            assert not plot.passes_at(float(v), 16e-9), v
+            assert plot.passes_at(float(v), 17e-9), v
+
+    def test_passes_standard_and_vlv(self, plot, conditions, shmoo_runner,
+                                     small_sram):
+        """At the 100 ns production period the part passes everywhere --
+        an at-speed-only escape."""
+        from repro.tester.shmoo import default_period_axis, default_voltage_axis
+        wide = shmoo_runner.run(small_sram, [CHIP3_DEFECT],
+                                default_voltage_axis(),
+                                default_period_axis())
+        for name in ("VLV", "Vmin", "Vnom", "Vmax"):
+            cond = conditions[name]
+            assert wide.passes_at(cond.vdd, cond.period), name
+
+    def test_fails_atspeed_condition(self, plot, conditions):
+        atspeed = conditions["at-speed"]
+        assert not plot.passes_at(atspeed.vdd, atspeed.period)

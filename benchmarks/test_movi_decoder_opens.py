@@ -1,0 +1,102 @@
+"""Extension benchmark: the [Azimane 04] MOVI methodology.
+
+The paper's own reference "New Test Methodology for Resistive Open
+Defect Detection in Memory Address Decoders" (VTS 2004, by two of the
+paper's authors) motivates why the production 11N test carries a MOVI
+ingredient: resistive opens in decoder address paths behave as
+*address-transition delay faults* that linear-order marching cannot
+sensitise for any address bit above bit 0.
+
+The bench sweeps the complete fault universe (both polarities of every
+address bit) and compares linear execution, the full MOVI procedure and
+the test-time cost -- at speed and at the slow production period.
+"""
+
+import pytest
+
+from repro.faults.address_delay import generate_address_delay_faults
+from repro.march.library import MARCH_CM, TEST_11N
+from repro.tester.movi import MoviExecutor
+
+ADDRESS_BITS = 5
+
+
+@pytest.fixture(scope="module")
+def executor():
+    return MoviExecutor(ADDRESS_BITS)
+
+
+@pytest.fixture(scope="module")
+def universe():
+    return generate_address_delay_faults(ADDRESS_BITS)
+
+
+@pytest.fixture(scope="module")
+def results(executor, universe):
+    linear = {(f.bit, f.rising): executor.linear_reference(
+        TEST_11N, f).detected for f in universe}
+    movi = {(f.bit, f.rising): executor.run(
+        TEST_11N, f, stop_at_first_detection=True).detected
+        for f in universe}
+    return linear, movi
+
+
+def test_movi_regeneration(benchmark, executor, universe):
+    result = benchmark.pedantic(
+        lambda: [executor.run(TEST_11N, f, stop_at_first_detection=True)
+                 for f in universe[:4]],
+        rounds=1, iterations=1)
+    assert len(result) == 4
+
+
+class TestMoviMethodologyShape:
+    def test_print_comparison(self, results, universe):
+        linear, movi = results
+        print()
+        print(f"{'fault':>14} {'linear':>7} {'MOVI':>5}")
+        for f in universe:
+            key = (f.bit, f.rising)
+            pol = "rise" if f.rising else "fall"
+            print(f"bit{f.bit} {pol:>5} {str(linear[key]):>7} "
+                  f"{str(movi[key]):>5}")
+        print(f"linear total: {sum(linear.values())}/{len(universe)}, "
+              f"MOVI total: {sum(movi.values())}/{len(universe)}")
+
+    def test_linear_only_reaches_bit0(self, results):
+        linear, _ = results
+        detected_bits = {bit for (bit, _), hit in linear.items() if hit}
+        assert detected_bits == {0}
+
+    def test_movi_reaches_every_bit(self, results):
+        _, movi = results
+        assert all(movi.values())
+
+    def test_own_rotation_detects(self, executor, universe):
+        """Rotating the faulty bit into the fast position sensitises it."""
+        for fault in universe:
+            run = executor.run_rotation(TEST_11N, fault, fault.bit)
+            assert run.detected, (fault.bit, fault.rising)
+
+    def test_slow_testing_misses_everything(self, executor):
+        """The faults are strictly at-speed: with any gap between the
+        sensitising accesses nothing manifests -- MOVI must run at
+        speed, the paper's Section 4.3 lesson."""
+        slow_faults = generate_address_delay_faults(ADDRESS_BITS,
+                                                    max_gap_cycles=1)
+        # Model the slow condition by the fault not firing across
+        # relaxed cycles: insert an idle gap by running with a base test
+        # whose reads never land back-to-back across the transition --
+        # equivalently check the gap window directly.
+        from repro.faults.models import MemoryState
+
+        f = slow_faults[2]
+        mem = MemoryState(1 << ADDRESS_BITS)
+        mem.bits.fill(0)
+        mem.set(0, 1)
+        f.read(mem, 0, 0)
+        assert f.read(mem, 1 << f.bit, 10) == 0   # gap: no hazard
+
+    def test_movi_cost_is_addressbits_times_base(self, executor):
+        result = executor.run(MARCH_CM)
+        assert result.total_operations == (
+            ADDRESS_BITS * MARCH_CM.complexity * (1 << ADDRESS_BITS))

@@ -1,0 +1,89 @@
+"""Extension benchmark: the paper's closing recommendation, optimised.
+
+"It is recommended to have the best test algorithms combined with
+specific stress conditions (VLV at low frequency, Vnom and Vmax at high
+frequency) to reduce test escapes and deliver high quality products."
+
+The bench computes the full time/DPM Pareto front over stress-condition
+subsets and checks that the paper's recommendation falls out of the
+optimisation: the stress conditions (VLV, Vmax, at-speed) form the
+efficient set, the non-stress corners are dominated, and VLV is the
+single highest-value condition.
+"""
+
+import pytest
+
+from repro.circuit.technology import CMOS018
+from repro.core.testplan import JointCoverageTable, TestPlanOptimizer
+from repro.march.library import TEST_11N
+from repro.memory.geometry import VEQTOR4_INSTANCE
+from repro.stress import production_conditions
+
+
+@pytest.fixture(scope="module")
+def table():
+    return JointCoverageTable(VEQTOR4_INSTANCE, CMOS018,
+                              production_conditions(CMOS018),
+                              n_samples=3000)
+
+
+@pytest.fixture(scope="module")
+def optimizer(table):
+    return TestPlanOptimizer(table, TEST_11N)
+
+
+def test_testplan_regeneration(benchmark, optimizer):
+    front = benchmark(optimizer.pareto_front)
+    assert front
+
+
+class TestPlanShape:
+    def test_print_front(self, optimizer):
+        print()
+        print("time/DPM Pareto front over condition subsets:")
+        for plan in optimizer.pareto_front():
+            print(f"  {plan}")
+
+    def test_stress_conditions_form_the_front(self, optimizer):
+        """Vmin and Vnom never appear in an efficient plan."""
+        for plan in optimizer.pareto_front():
+            assert not ({"Vmin", "Vnom"} & set(plan.conditions))
+
+    def test_best_plan_is_the_papers_combination(self, optimizer):
+        best = min(optimizer.all_plans(), key=lambda p: p.dpm)
+        assert set(best.conditions) >= {"VLV", "Vmax", "at-speed"}
+
+    def test_vlv_best_single_voltage_condition(self, table):
+        cov = {n: table.subset_coverage((n,))
+               for n in ("VLV", "Vmin", "Vnom", "Vmax")}
+        assert max(cov, key=cov.get) == "VLV"
+
+    def test_adding_vlv_always_helps(self, table):
+        """Marginal value of VLV on top of any other subset is positive
+        -- the 'unavoidable' condition of Section 3."""
+        import itertools
+
+        others = [n for n in table.condition_names if n != "VLV"]
+        for r in range(0, len(others) + 1):
+            for subset in itertools.combinations(others, r):
+                with_vlv = table.subset_coverage(subset + ("VLV",))
+                without = table.subset_coverage(subset)
+                assert with_vlv > without
+
+    def test_time_quality_tradeoff_is_real(self, optimizer):
+        """Better plans cost more tester seconds (VLV runs at 10 MHz):
+        the trade-off the paper's conclusion discusses."""
+        front = optimizer.pareto_front()
+        assert front[-1].test_time > front[0].test_time
+        assert front[-1].dpm < front[0].dpm
+
+    def test_dpm_target_query(self, optimizer):
+        plans = optimizer.all_plans()
+        mid_target = sorted(p.dpm for p in plans)[len(plans) // 2]
+        plan = optimizer.cheapest_meeting(mid_target)
+        assert plan is not None
+        assert plan.dpm <= mid_target
+        # No faster feasible plan exists.
+        for other in plans:
+            if other.dpm <= mid_target:
+                assert other.test_time >= plan.test_time - 1e-12

@@ -1,0 +1,54 @@
+"""Benchmark: seed-to-seed stability of the Figure 11 structure.
+
+The paper reports one physical lot; our Monte-Carlo stand-in lets us ask
+how repeatable the Venn structure is.  The bench runs the full
+experiment across seeds and asserts that every *structural* claim of
+Figure 11 (VLV-only dominance, empty Vmax∩at-speed and triple regions,
+presence of the minor classes in aggregate) is seed-stable even though
+the individual counts wander with Poisson noise.
+"""
+
+import pytest
+
+from repro.experiment.montecarlo import run_monte_carlo
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_monte_carlo(n_runs=10, n_devices=8000)
+
+
+def test_stability_regeneration(benchmark):
+    res = benchmark.pedantic(run_monte_carlo,
+                             kwargs={"n_runs": 3, "n_devices": 2000},
+                             rounds=1, iterations=1)
+    assert res.n_runs == 3
+
+
+class TestVennStability:
+    def test_print_statistics(self, result):
+        print()
+        print(result.render())
+
+    def test_vlv_dominance_every_seed(self, result):
+        assert result.structural_stability()["vlv_only_dominates"] == 1.0
+
+    def test_empty_regions_every_seed(self, result):
+        assert result.structural_stability()[
+            "vmax_atspeed_and_triple_empty"] == 1.0
+
+    def test_counts_wander_but_stay_in_scale(self, result):
+        """Poisson noise is visible (spread > 0) yet the VLV-only count
+        never collapses into the minor-class range."""
+        vlv = result.stats["vlv_only"]
+        assert vlv.max > vlv.min          # noise is real
+        assert vlv.min >= 2 * max(result.stats["vmax_only"].max, 1) - 2
+
+    def test_minor_classes_nonzero_in_aggregate(self, result):
+        assert result.stats["vmax_only"].mean > 0.5
+        assert result.stats["atspeed_only"].mean > 0.5
+
+    def test_overlaps_rare_but_present_in_aggregate(self, result):
+        total_overlaps = (sum(result.stats["vlv_vmax"].counts)
+                          + sum(result.stats["vlv_atspeed"].counts))
+        assert total_overlaps >= 1

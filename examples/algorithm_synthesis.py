@@ -1,0 +1,86 @@
+"""Algorithm synthesis: the paper's future work, automated.
+
+"As continuation of this research, we would like to explore new test
+algorithms for targeting the soft defects."  This example runs the
+greedy march synthesiser against three fault universes of increasing
+modernity -- classical static faults, dynamic (at-speed) faults, and
+address-decoder delay faults -- and compares the synthesised algorithms
+with the published ones.
+
+Run:  python examples/algorithm_synthesis.py
+"""
+
+from repro.faults.address_delay import generate_address_delay_faults
+from repro.faults.dynamic import make_dynamic_rdf
+from repro.march.compare import efficiency_frontier, render_scores, score_tests
+from repro.march.library import (
+    MARCH_CM,
+    MARCH_RAW,
+    MARCH_SS,
+    MATS_PLUS_PLUS,
+    TEST_11N,
+)
+from repro.march.synthesis import MarchSynthesizer, classical_universe
+from repro.tester.movi import MoviExecutor
+
+
+def main() -> None:
+    synth = MarchSynthesizer(n_cells=6, max_ops_per_element=3,
+                             max_elements=8)
+
+    # 1. Classical static faults: can the search match the textbooks?
+    print("== target: SAF + TF + AF + CFin ==")
+    universe = classical_universe(6, ("SAF", "TF", "AF", "CFin"))
+    result = synth.synthesise(universe, "Synth-static")
+    print(f"  {result.test}")
+    print(f"  coverage {result.detected}/{result.total} at "
+          f"{result.test.complexity}N "
+          f"(March C- needs {MARCH_CM.complexity}N, "
+          f"MATS++ covers less at {MATS_PLUS_PLUS.complexity}N)")
+
+    # 2. Dynamic faults: the soft-defect behaviours of the paper.
+    print("\n== target: dynamic w-r faults (resistive-open image) ==")
+    dyn_universe = []
+    for cell in range(6):
+        for state in (0, 1):
+            dyn_universe.append(
+                lambda cell=cell, state=state: make_dynamic_rdf(cell, state))
+    result = synth.synthesise(dyn_universe, "Synth-dynamic")
+    print(f"  {result.test}")
+    print(f"  coverage {result.detected}/{result.total} at "
+          f"{result.test.complexity}N")
+    for notation, newly in result.history:
+        print(f"    {notation}  (+{newly})")
+
+    # 3. Decoder delay faults need the MOVI procedure, not just new
+    #    elements: show the synthesised test still needs rotation.
+    print("\n== target: address-decoder delay faults ==")
+    bits = 4
+    executor = MoviExecutor(bits)
+    fault_universe = generate_address_delay_faults(bits)
+    linear_hits = sum(
+        executor.linear_reference(MARCH_CM, f).detected
+        for f in fault_universe)
+    movi_hits = sum(
+        executor.run(MARCH_CM, f, stop_at_first_detection=True).detected
+        for f in fault_universe)
+    print(f"  March C- linear:  {linear_hits}/{len(fault_universe)} "
+          "(only bit-0 faults)")
+    print(f"  March C- + MOVI:  {movi_hits}/{len(fault_universe)} "
+          "(the [Azimane 04] methodology)")
+    print("  -> some soft defects need a *procedure* (address rotation "
+          "at speed), not a longer element sequence")
+
+    # 4. Where does the paper's production test sit on the efficiency
+    #    frontier?
+    print("\n== coverage-per-op efficiency of the published tests ==")
+    scores = score_tests(
+        [MATS_PLUS_PLUS, MARCH_CM, TEST_11N, MARCH_SS, MARCH_RAW],
+        n_cells=6)
+    print(render_scores(scores))
+    frontier = [s.test_name for s in efficiency_frontier(scores)]
+    print(f"efficiency frontier: {frontier}")
+
+
+if __name__ == "__main__":
+    main()

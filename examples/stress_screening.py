@@ -1,0 +1,74 @@
+"""Stress screening: the test engineer's workflow on a failing part.
+
+Walks the paper's Section 4.1 diagnosis chain on a reconstructed
+"Chip-1": a part that passes the complete standard production test yet
+carries a resistive bridge.
+
+  1. run the 11N test at the production conditions -> passes (escape!),
+  2. add the VLV stress condition -> fails,
+  3. shmoo the part over the (Vdd, period) plane,
+  4. bitmap the VLV fails: which cells, which march elements, which
+     read polarity -> conclude the defect class.
+
+Run:  python examples/stress_screening.py
+"""
+
+from repro import CMOS018, BridgeSite, DefectBehaviorModel, MemoryGeometry, Sram
+from repro.defects.models import bridge
+from repro.march.library import TEST_11N
+from repro.stress import production_conditions
+from repro.tester.ate import VirtualTester
+from repro.tester.bitmap import BitmapAnalyzer
+from repro.tester.shmoo import (
+    ShmooRunner,
+    default_period_axis,
+    default_voltage_axis,
+)
+
+
+def main() -> None:
+    geometry = MemoryGeometry(rows=8, columns=2, bits_per_word=4)
+    sram = Sram(geometry, CMOS018)
+    tester = VirtualTester(DefectBehaviorModel(CMOS018))
+    conditions = production_conditions(CMOS018)
+
+    # The part under test: a 240 kohm storage-node-to-VDD bridge in cell
+    # (word 3, bit 1) -- high-ohmic enough to hide at nominal voltage.
+    victim = geometry.cell_index(3, 1)
+    defect = bridge(BridgeSite.CELL_NODE_RAIL, 240e3, polarity=1,
+                    cell=victim)
+
+    # Step 1: the conventional flow ships this part.
+    print("== standard production test (11N march) ==")
+    for name in ("Vmin", "Vnom", "Vmax"):
+        result = tester.test_device(sram, [defect], TEST_11N,
+                                    conditions[name])
+        print(f"  {conditions[name]}: {'PASS' if result.passed else 'FAIL'}")
+
+    # Step 2: the VLV stress condition catches it.
+    print("\n== added stress condition ==")
+    vlv = tester.test_device(sram, [defect], TEST_11N, conditions["VLV"],
+                             quick=False)
+    print(f"  {conditions['VLV']}: {'PASS' if vlv.passed else 'FAIL'} "
+          f"({len(vlv.fails)} failing reads)")
+
+    # Step 3: shmoo the part (the paper's Figure 4).
+    print("\n== shmoo plot (voltage vs period) ==")
+    runner = ShmooRunner(tester, TEST_11N)
+    plot = runner.run(sram, [defect], default_voltage_axis(),
+                      default_period_axis(), "Chip-1 under test")
+    print(plot.render())
+    print(f"lowest passing voltage @ 100 ns: "
+          f"{plot.min_passing_voltage(100e-9):.2f} V")
+
+    # Step 4: bitmap diagnosis of the VLV fail log.
+    print("\n== bitmap diagnosis ==")
+    diagnosis = BitmapAnalyzer(geometry, TEST_11N).diagnose(vlv.fails)
+    for sig in diagnosis.element_signatures:
+        print(f"  failing march element {sig.notation} "
+              f"(op {sig.failing_op_index}, {sig.fail_count} fail)")
+    print(f"  verdict: {diagnosis.summary}")
+
+
+if __name__ == "__main__":
+    main()

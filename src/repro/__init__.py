@@ -1,0 +1,92 @@
+"""repro: Memory testing under different stress conditions.
+
+A full reproduction of *"Memory Testing Under Different Stress
+Conditions: An Industrial Evaluation"* (Majhi et al., DATE 2005) as a
+Python library:
+
+* :mod:`repro.circuit` -- compact-device Spice-like simulator,
+* :mod:`repro.memory` -- 6T-cell SRAM model with electrical periphery,
+* :mod:`repro.march` -- march test engine (MATS++ .. MOVI, the 11N test),
+* :mod:`repro.faults` -- classical functional fault models + simulator,
+* :mod:`repro.defects` -- resistive bridge/open models with calibrated
+  stress-condition behaviour,
+* :mod:`repro.ifa` -- synthetic layout + critical-area extraction,
+* :mod:`repro.core` -- the fault-coverage & DPM estimator (the paper's
+  contribution),
+* :mod:`repro.tester` -- virtual ATE, shmoo plots, bitmap diagnosis,
+* :mod:`repro.experiment` -- the simulated 11k-device silicon study,
+* :mod:`repro.analysis` -- table/figure renderers.
+
+Quickstart::
+
+    from repro import MemoryTestFlow, MemoryGeometry
+    report = MemoryTestFlow(MemoryGeometry(512, 16, 32)).run()
+    print(report.bridge_report.by_condition("VLV").defect_coverage)
+"""
+
+from repro.bist import BistEngine, ResponseMode
+from repro.circuit.technology import CMOS013, CMOS018, Technology
+from repro.core.database import CoverageDatabase
+from repro.core.estimator import EstimatorReport, FaultCoverageEstimator
+from repro.core.database import load_default_database
+from repro.core.flow import FlowResult, MemoryTestFlow
+from repro.core.testplan import JointCoverageTable, TestPlanOptimizer
+from repro.defects.behavior import BehaviorParams, DefectBehaviorModel
+from repro.defects.models import BridgeSite, Defect, DefectKind, OpenSite
+from repro.experiment.classify import StressClassifier
+from repro.experiment.population import PopulationGenerator, PopulationSpec
+from repro.experiment.venn import PAPER_VENN, VennCounts
+from repro.ifa.flow import IfaCampaign
+from repro.march.library import STANDARD_TESTS, TEST_11N, get_test
+from repro.march.test import MarchTest
+from repro.memory.geometry import VEQTOR4_INSTANCE, MemoryGeometry
+from repro.memory.sram import Sram
+from repro.stress import StressCondition, production_conditions
+from repro.tester.ate import VirtualTester
+from repro.tester.iddq import IddqTester
+from repro.tester.movi import MoviExecutor
+from repro.tester.shmoo import ShmooRunner
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BehaviorParams",
+    "BistEngine",
+    "BridgeSite",
+    "CMOS013",
+    "CMOS018",
+    "CoverageDatabase",
+    "Defect",
+    "DefectBehaviorModel",
+    "DefectKind",
+    "EstimatorReport",
+    "FaultCoverageEstimator",
+    "FlowResult",
+    "IddqTester",
+    "IfaCampaign",
+    "JointCoverageTable",
+    "MarchTest",
+    "MemoryGeometry",
+    "MemoryTestFlow",
+    "MoviExecutor",
+    "OpenSite",
+    "PAPER_VENN",
+    "PopulationGenerator",
+    "PopulationSpec",
+    "STANDARD_TESTS",
+    "ShmooRunner",
+    "Sram",
+    "StressClassifier",
+    "StressCondition",
+    "TEST_11N",
+    "TestPlanOptimizer",
+    "ResponseMode",
+    "Technology",
+    "VEQTOR4_INSTANCE",
+    "VennCounts",
+    "VirtualTester",
+    "__version__",
+    "get_test",
+    "load_default_database",
+    "production_conditions",
+]

@@ -1,0 +1,94 @@
+"""Machine-readable exports of every result artefact.
+
+The text renderers in :mod:`repro.analysis.tables` / ``figures`` target
+humans; this module writes the same artefacts as CSV/JSON for
+spreadsheets and plotting pipelines:
+
+* coverage records (the campaign's raw sweep),
+* estimator reports (per-condition coverage/DPM),
+* shmoo plots (long-format grid),
+* Venn counts and test plans.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.core.estimator import EstimatorReport
+from repro.experiment.venn import VennCounts
+from repro.ifa.flow import CoverageRecord
+from repro.tester.shmoo import ShmooPlot
+
+
+def write_coverage_csv(records: list[CoverageRecord],
+                       path: str | Path) -> None:
+    """Campaign sweep as CSV (one row per (kind, R, condition))."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["kind", "resistance_ohm", "condition", "vdd_v",
+                         "period_s", "detected", "total", "coverage"])
+        for r in records:
+            writer.writerow([r.kind, r.resistance, r.condition, r.vdd,
+                             r.period, r.detected, r.total,
+                             f"{r.coverage:.6f}"])
+
+
+def write_estimator_json(report: EstimatorReport, path: str | Path) -> None:
+    """Estimator report as JSON (the paper's Table 1, structured)."""
+    payload = {
+        "kind": report.kind,
+        "geometry": {
+            "rows": report.geometry.rows,
+            "columns": report.geometry.columns,
+            "bits_per_word": report.geometry.bits_per_word,
+            "blocks": report.geometry.blocks,
+            "bits": report.geometry.bits,
+        },
+        "yield": report.yield_fraction,
+        "conditions": [
+            {
+                "condition": est.condition,
+                "fault_coverage": {f"{r:g}": c
+                                   for r, c in est.fault_coverage.items()},
+                "defect_coverage": est.defect_coverage,
+                "dpm": est.dpm,
+                "dpm_normalised": est.dpm_normalised,
+            }
+            for est in report.estimates
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def write_shmoo_csv(plot: ShmooPlot, path: str | Path) -> None:
+    """Shmoo grid in long format: one row per (vdd, period) point."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["vdd_v", "period_s", "passed"])
+        for i, vdd in enumerate(plot.voltages):
+            for j, period in enumerate(plot.periods):
+                writer.writerow([float(vdd), float(period),
+                                 int(plot.passed[i, j])])
+
+
+def write_venn_json(venn: VennCounts, path: str | Path,
+                    n_devices: int | None = None) -> None:
+    """Venn regions as JSON (Figure 11, structured)."""
+    payload = {"regions": venn.as_dict(), "total": venn.total}
+    if n_devices is not None:
+        payload["n_devices"] = n_devices
+    Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def write_plans_csv(plans, path: str | Path) -> None:
+    """Test plans (e.g. a Pareto front) as CSV."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["conditions", "test_time_s", "defect_coverage",
+                         "dpm"])
+        for plan in plans:
+            writer.writerow(["+".join(plan.conditions), plan.test_time,
+                             f"{plan.defect_coverage:.6f}",
+                             f"{plan.dpm:.3f}"])

@@ -1,0 +1,160 @@
+"""Waveform container and measurement helpers.
+
+Transient results from :mod:`repro.circuit.solver` come back as
+:class:`Waveform` objects.  The measurement helpers implement the checks
+the paper's simulation figures rely on: logic-level sampling at read
+strobes (Figures 5/6 show the decoder-open defect producing a wrong value
+at outputs q1/q2 during one unique clock cycle) and threshold-crossing
+delay extraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class Waveform:
+    """A sampled voltage-versus-time trace for one node.
+
+    Attributes:
+        node: Node name.
+        time: Monotonically increasing sample times in seconds.
+        voltage: Sample values in volts, same length as ``time``.
+    """
+
+    node: str
+    time: np.ndarray
+    voltage: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.time = np.asarray(self.time, dtype=float)
+        self.voltage = np.asarray(self.voltage, dtype=float)
+        if self.time.shape != self.voltage.shape:
+            raise ValueError("time and voltage arrays must have equal length")
+        if self.time.size < 1:
+            raise ValueError("waveform must contain at least one sample")
+        if np.any(np.diff(self.time) < 0):
+            raise ValueError("time axis must be non-decreasing")
+
+    def __len__(self) -> int:
+        return int(self.time.size)
+
+    def at(self, t: float) -> float:
+        """Linearly interpolated voltage at time ``t`` (clamped to range)."""
+        return float(np.interp(t, self.time, self.voltage))
+
+    def logic_at(self, t: float, vdd: float, threshold: float = 0.5) -> int:
+        """Sample the waveform as a logic value at time ``t``.
+
+        A node above ``threshold * vdd`` reads as 1, otherwise 0 -- the
+        same convention a tester comparator applies at the strobe point.
+        """
+        return 1 if self.at(t) >= threshold * vdd else 0
+
+    def crossing_time(self, level: float, rising: bool = True,
+                      after: float = 0.0) -> float | None:
+        """First time the trace crosses ``level`` in the given direction.
+
+        Returns ``None`` when the crossing never happens -- which is
+        itself the detection signature for severe resistive opens (the
+        delayed edge never arrives within the observation window).
+        """
+        v = self.voltage
+        t = self.time
+        for i in range(1, len(v)):
+            if t[i] < after:
+                continue
+            if rising and v[i - 1] < level <= v[i]:
+                return _interp_cross(t[i - 1], t[i], v[i - 1], v[i], level)
+            if not rising and v[i - 1] > level >= v[i]:
+                return _interp_cross(t[i - 1], t[i], v[i - 1], v[i], level)
+        return None
+
+    def delay_to(self, other: "Waveform", level: float) -> float | None:
+        """Delay from this trace's crossing of ``level`` to ``other``'s."""
+        t0 = self.crossing_time(level)
+        t1 = other.crossing_time(level)
+        if t0 is None or t1 is None:
+            return None
+        return t1 - t0
+
+    def min(self) -> float:
+        return float(self.voltage.min())
+
+    def max(self) -> float:
+        return float(self.voltage.max())
+
+    def settle_value(self, fraction: float = 0.05) -> float:
+        """Mean of the last ``fraction`` of samples (steady-state value)."""
+        n = max(1, int(len(self.voltage) * fraction))
+        return float(self.voltage[-n:].mean())
+
+
+def pulse(v_low: float, v_high: float, t_start: float, t_width: float,
+          t_edge: float = 1e-10):
+    """Build a single-pulse stimulus callable for a ``VoltageSource``.
+
+    The pulse rises at ``t_start``, stays high for ``t_width`` and falls
+    back; edges are linear ramps of ``t_edge`` seconds.
+    """
+    if t_width <= 0 or t_edge <= 0:
+        raise ValueError("t_width and t_edge must be positive")
+
+    def f(t: float) -> float:
+        if t < t_start:
+            return v_low
+        if t < t_start + t_edge:
+            return v_low + (v_high - v_low) * (t - t_start) / t_edge
+        if t < t_start + t_edge + t_width:
+            return v_high
+        if t < t_start + 2 * t_edge + t_width:
+            return v_high - (v_high - v_low) * (
+                t - t_start - t_edge - t_width) / t_edge
+        return v_low
+
+    return f
+
+
+def clock(v_low: float, v_high: float, period: float, duty: float = 0.5,
+          t_edge: float = 1e-10):
+    """Build a periodic clock stimulus callable."""
+    if period <= 0 or not 0.0 < duty < 1.0:
+        raise ValueError("period must be positive and 0 < duty < 1")
+    high_time = period * duty
+
+    def f(t: float) -> float:
+        phase = t % period
+        if phase < t_edge:
+            return v_low + (v_high - v_low) * phase / t_edge
+        if phase < high_time:
+            return v_high
+        if phase < high_time + t_edge:
+            return v_high - (v_high - v_low) * (phase - high_time) / t_edge
+        return v_low
+
+    return f
+
+
+def piecewise_linear(points: list[tuple[float, float]]):
+    """Build a PWL stimulus from ``(time, voltage)`` breakpoints."""
+    if len(points) < 2:
+        raise ValueError("PWL stimulus needs at least two points")
+    times = np.asarray([p[0] for p in points])
+    volts = np.asarray([p[1] for p in points])
+    if np.any(np.diff(times) < 0):
+        raise ValueError("PWL breakpoints must be time-ordered")
+
+    def f(t: float) -> float:
+        return float(np.interp(t, times, volts))
+
+    return f
+
+
+def _interp_cross(t0: float, t1: float, v0: float, v1: float,
+                  level: float) -> float:
+    if v1 == v0:
+        return t1
+    return t0 + (t1 - t0) * (level - v0) / (v1 - v0)

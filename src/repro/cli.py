@@ -1,0 +1,195 @@
+"""Command-line interface: the estimator and friends without Python.
+
+The paper's estimator was a tool handed to customers; this CLI is the
+equivalent front door::
+
+    python -m repro estimate --rows 512 --columns 16 --bits 32
+    python -m repro shmoo --defect rail-bridge --resistance 240e3
+    python -m repro venn --devices 11000 --seed 1105
+    python -m repro plan --target-dpm 50
+    python -m repro report
+
+Every subcommand prints the same text artefacts the library's
+benchmarks assert on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.circuit.technology import CMOS018
+from repro.memory.geometry import VEQTOR4_INSTANCE, MemoryGeometry
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    from repro.analysis.tables import render_table1
+    from repro.core.flow import MemoryTestFlow
+
+    geometry = MemoryGeometry(args.rows, args.columns, args.bits,
+                              args.blocks)
+    result = MemoryTestFlow(geometry, n_sites=args.sites).run()
+    report = result.bridge_report
+    print(f"memory: {geometry}")
+    print(f"yield:  {100 * report.yield_fraction:.2f} %\n")
+    print(render_table1(report, compare_paper=not args.no_paper))
+    print(f"\nDPM ratio Vmax/VLV: {report.dpm_ratio('Vmax', 'VLV'):.1f}x")
+    if args.save_db:
+        result.database.save(args.save_db)
+        print(f"coverage database written to {args.save_db}")
+    return 0
+
+
+_DEFECT_PRESETS = {
+    "rail-bridge": ("bridge", "cell_node_rail"),
+    "node-bridge": ("bridge", "cell_node_node"),
+    "bitline-bridge": ("bridge", "bitline_bitline"),
+    "decoder-open": ("open", "decoder_input"),
+    "bitline-open": ("open", "bitline_segment"),
+    "periphery-open": ("open", "periphery_path"),
+    "pullup-open": ("open", "cell_pullup"),
+}
+
+
+def _cmd_shmoo(args: argparse.Namespace) -> int:
+    from repro.defects.behavior import DefectBehaviorModel
+    from repro.defects.models import BridgeSite, Defect, DefectKind, OpenSite
+    from repro.march.library import get_test
+    from repro.memory.sram import Sram
+    from repro.tester.ate import VirtualTester
+    from repro.tester.shmoo import (
+        ShmooRunner,
+        default_period_axis,
+        default_voltage_axis,
+    )
+
+    defects = []
+    if args.defect:
+        if args.defect not in _DEFECT_PRESETS:
+            print(f"unknown defect preset {args.defect!r}; choices: "
+                  f"{sorted(_DEFECT_PRESETS)}", file=sys.stderr)
+            return 2
+        kind_name, site_name = _DEFECT_PRESETS[args.defect]
+        kind = DefectKind(kind_name)
+        site = (BridgeSite(site_name) if kind is DefectKind.BRIDGE
+                else OpenSite(site_name))
+        defects.append(Defect(kind, site, args.resistance, polarity=1))
+
+    sram = Sram(MemoryGeometry(8, 2, 4), CMOS018)
+    runner = ShmooRunner(VirtualTester(DefectBehaviorModel(CMOS018)),
+                         get_test(args.test))
+    title = (f"{args.defect} R={args.resistance:g} ohm" if args.defect
+             else "fault-free")
+    plot = runner.run(sram, defects, default_voltage_axis(),
+                      default_period_axis(), title)
+    print(plot.render())
+    return 0
+
+
+def _cmd_venn(args: argparse.Namespace) -> int:
+    from repro.analysis.figures import render_venn_comparison
+    from repro.experiment.classify import StressClassifier
+    from repro.experiment.population import PopulationGenerator, PopulationSpec
+    from repro.experiment.venn import PAPER_VENN, VennCounts
+
+    spec = PopulationSpec(n_devices=args.devices, seed=args.seed)
+    chips = PopulationGenerator(spec).generate()
+    result = StressClassifier().classify(chips)
+    venn = VennCounts.from_experiment(result)
+    print(f"lot: {args.devices} devices (seed {args.seed}); "
+          f"standard fails {result.n_standard_fails}")
+    print(render_venn_comparison(venn, PAPER_VENN))
+    if args.diagnose:
+        from repro.experiment.diagnosis import LotDiagnostician
+
+        print()
+        print(LotDiagnostician().diagnose(result).render())
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.core.testplan import JointCoverageTable, TestPlanOptimizer
+    from repro.march.library import get_test
+    from repro.stress import production_conditions
+
+    table = JointCoverageTable(VEQTOR4_INSTANCE, CMOS018,
+                               production_conditions(CMOS018),
+                               n_samples=args.samples)
+    optimizer = TestPlanOptimizer(table, get_test(args.test))
+    print("time/DPM Pareto front:")
+    for plan in optimizer.pareto_front():
+        print(f"  {plan}")
+    if args.target_dpm is not None:
+        plan = optimizer.cheapest_meeting(args.target_dpm)
+        verdict = plan if plan else "unreachable with this suite"
+        print(f"\ncheapest plan meeting {args.target_dpm:g} DPM: {verdict}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import full_report
+
+    print(full_report(n_sites=args.sites, n_devices=args.devices))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Memory testing under different stress conditions "
+                    "(DATE 2005) -- reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("estimate",
+                       help="fault coverage / DPM for a memory geometry")
+    p.add_argument("--rows", type=int, default=512, help="#X rows")
+    p.add_argument("--columns", type=int, default=16, help="#Y words/row")
+    p.add_argument("--bits", type=int, default=32, help="#B bits/word")
+    p.add_argument("--blocks", type=int, default=1, help="#Z blocks")
+    p.add_argument("--sites", type=int, default=3000,
+                   help="IFA site-population size")
+    p.add_argument("--no-paper", action="store_true",
+                   help="omit the paper's reference numbers")
+    p.add_argument("--save-db", metavar="PATH",
+                   help="write the coverage database as JSON")
+    p.set_defaults(func=_cmd_estimate)
+
+    p = sub.add_parser("shmoo", help="render a (Vdd, period) shmoo plot")
+    p.add_argument("--defect", choices=sorted(_DEFECT_PRESETS),
+                   help="defect preset (omit for fault-free)")
+    p.add_argument("--resistance", type=float, default=240e3,
+                   help="defect resistance in ohms")
+    p.add_argument("--test", default="11N", help="march test name")
+    p.set_defaults(func=_cmd_shmoo)
+
+    p = sub.add_parser("venn",
+                       help="run the silicon-experiment simulation")
+    p.add_argument("--devices", type=int, default=11000)
+    p.add_argument("--seed", type=int, default=1105)
+    p.add_argument("--diagnose", action="store_true",
+                   help="bitmap-diagnose every interesting device")
+    p.set_defaults(func=_cmd_venn)
+
+    p = sub.add_parser("plan", help="optimise the stress-condition plan")
+    p.add_argument("--test", default="11N", help="march test name")
+    p.add_argument("--samples", type=int, default=3000)
+    p.add_argument("--target-dpm", type=float, default=None)
+    p.set_defaults(func=_cmd_plan)
+
+    p = sub.add_parser("report", help="full paper-vs-measured report")
+    p.add_argument("--sites", type=int, default=4000)
+    p.add_argument("--devices", type=int, default=11000)
+    p.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

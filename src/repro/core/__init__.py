@@ -1,0 +1,56 @@
+"""Core contribution: the fault coverage and DPM estimator.
+
+The paper's deliverable to its customers: an IFA-backed pre-calculated
+coverage database, the four-parameter estimator on top of it
+(fault coverage, defect coverage, Williams-Brown DPM per stress
+condition), and the end-to-end memory test flow that builds everything
+from a memory geometry.
+"""
+
+from repro.core.database import CoverageDatabase, load_default_database
+from repro.core.estimator import (
+    ConditionEstimate,
+    EstimatorReport,
+    FaultCoverageEstimator,
+)
+from repro.core.flow import FlowResult, MemoryTestFlow
+from repro.core.testplan import (
+    JointCoverageTable,
+    TestPlan,
+    TestPlanOptimizer,
+)
+from repro.core.williams_brown import (
+    defect_level,
+    dpm,
+    poisson_yield,
+    required_coverage,
+)
+from repro.stress import (
+    ATSPEED_PERIOD,
+    SLOW_PERIOD,
+    StressCondition,
+    production_conditions,
+    standard_conditions,
+)
+
+__all__ = [
+    "ATSPEED_PERIOD",
+    "ConditionEstimate",
+    "CoverageDatabase",
+    "EstimatorReport",
+    "FaultCoverageEstimator",
+    "FlowResult",
+    "JointCoverageTable",
+    "MemoryTestFlow",
+    "SLOW_PERIOD",
+    "StressCondition",
+    "TestPlan",
+    "TestPlanOptimizer",
+    "defect_level",
+    "load_default_database",
+    "dpm",
+    "poisson_yield",
+    "production_conditions",
+    "required_coverage",
+    "standard_conditions",
+]

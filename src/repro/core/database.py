@@ -1,0 +1,184 @@
+"""The pre-calculated coverage database.
+
+"Calculating the fault coverage precisely would take years of simulation
+time, but using a database with precalculated simulation results makes
+the fault coverage estimation an easy job." (paper, Section 3)
+
+:class:`CoverageDatabase` stores :class:`~repro.ifa.flow.CoverageRecord`
+rows indexed by (defect kind, condition, resistance), supports log-R
+interpolation for resistances between sweep points, and persists to/from
+JSON so a campaign can be run once and shipped with the tool -- exactly
+the deployment model the paper describes for its customers.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+from repro.ifa.flow import CoverageRecord
+
+
+class CoverageDatabase:
+    """Queryable store of per-(kind, condition, R) coverage results."""
+
+    def __init__(self, records: list[CoverageRecord] | None = None) -> None:
+        self._records: list[CoverageRecord] = []
+        # (kind, condition) -> sorted list of (resistance, coverage)
+        self._index: dict[tuple[str, str], list[tuple[float, float]]] = {}
+        if records:
+            self.add_records(records)
+
+    # ------------------------------------------------------------------
+    # Population
+    # ------------------------------------------------------------------
+    def add_records(self, records: list[CoverageRecord]) -> None:
+        self._records.extend(records)
+        self._rebuild_index()
+
+    def _rebuild_index(self) -> None:
+        self._index.clear()
+        grouped: dict[tuple[str, str], dict[float, CoverageRecord]] = {}
+        for rec in self._records:
+            key = (rec.kind, rec.condition)
+            grouped.setdefault(key, {})[rec.resistance] = rec
+        for key, by_r in grouped.items():
+            self._index[key] = sorted(
+                (r, rec.coverage) for r, rec in by_r.items()
+            )
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def records(self) -> list[CoverageRecord]:
+        return list(self._records)
+
+    def conditions(self, kind: str = "bridge") -> list[str]:
+        return sorted({c for (k, c) in self._index if k == kind})
+
+    def resistances(self, kind: str = "bridge") -> list[float]:
+        out: set[float] = set()
+        for (k, _), points in self._index.items():
+            if k == kind:
+                out.update(r for r, _ in points)
+        return sorted(out)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def coverage(self, kind: str, condition: str, resistance: float) -> float:
+        """Fault coverage at a resistance, log-R interpolated.
+
+        Outside the swept range the nearest endpoint is used (coverage
+        curves are monotone-flat at the extremes: very low R is
+        detected-or-not regardless, very high R saturates).
+        """
+        key = (kind, condition)
+        if key not in self._index:
+            raise KeyError(
+                f"no records for kind={kind!r}, condition={condition!r}; "
+                f"available: {sorted(self._index)}"
+            )
+        points = self._index[key]
+        if resistance <= points[0][0]:
+            return points[0][1]
+        if resistance >= points[-1][0]:
+            return points[-1][1]
+        for (r0, c0), (r1, c1) in zip(points, points[1:]):
+            if r0 <= resistance <= r1:
+                if r1 == r0:
+                    return c0
+                frac = (math.log(resistance) - math.log(r0)) / (
+                    math.log(r1) - math.log(r0))
+                return c0 + frac * (c1 - c0)
+        raise AssertionError("unreachable")
+
+    def envelope_coverage(self, kind: str, distribution,
+                          n_grid: int = 96) -> float:
+        """Weighted coverage of the best condition at every resistance.
+
+        The per-R maximum over all stored conditions approximates the
+        detectable fraction of the defect population (the union of the
+        suite, up to correlations) -- the denominator for
+        detectability-relative coverage.  Matters mostly for opens,
+        where much of the resistance distribution is electrically
+        benign at every condition.
+        """
+        conditions = self.conditions(kind)
+        if not conditions:
+            raise KeyError(f"no records for kind={kind!r}")
+        grid = distribution.quantile_grid(n_grid)
+        total = 0.0
+        prev_cdf = distribution.cdf(grid[0])
+
+        def best(r: float) -> float:
+            return max(self.coverage(kind, c, r) for c in conditions)
+
+        total += prev_cdf * best(grid[0])
+        for r0, r1 in zip(grid, grid[1:]):
+            cdf1 = distribution.cdf(r1)
+            total += (cdf1 - prev_cdf) * best(math.sqrt(r0 * r1))
+            prev_cdf = cdf1
+        total += (1.0 - prev_cdf) * best(grid[-1])
+        return min(max(total, 0.0), 1.0)
+
+    def weighted_coverage(self, kind: str, condition: str,
+                          distribution, n_grid: int = 96) -> float:
+        """Defect coverage: fault coverage weighted by the resistance
+        distribution (the paper's Section 3.1 step from fault coverage to
+        defect coverage).
+
+        Numerically integrates coverage(R) dP(R) over the distribution's
+        quantile grid.
+        """
+        grid = distribution.quantile_grid(n_grid)
+        total = 0.0
+        prev_cdf = distribution.cdf(grid[0])
+        total += prev_cdf * self.coverage(kind, condition, grid[0])
+        for r0, r1 in zip(grid, grid[1:]):
+            cdf1 = distribution.cdf(r1)
+            mass = cdf1 - prev_cdf
+            mid = math.sqrt(r0 * r1)
+            total += mass * self.coverage(kind, condition, mid)
+            prev_cdf = cdf1
+        total += (1.0 - prev_cdf) * self.coverage(kind, condition, grid[-1])
+        return min(max(total, 0.0), 1.0)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        payload = [
+            {
+                "kind": r.kind,
+                "resistance": r.resistance,
+                "condition": r.condition,
+                "vdd": r.vdd,
+                "period": r.period,
+                "detected": r.detected,
+                "total": r.total,
+            }
+            for r in self._records
+        ]
+        Path(path).write_text(json.dumps(payload, indent=1))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "CoverageDatabase":
+        payload = json.loads(Path(path).read_text())
+        records = [CoverageRecord(**row) for row in payload]
+        return cls(records)
+
+
+def load_default_database() -> CoverageDatabase:
+    """The pre-calculated CMOS 0.18 um database shipped with the package.
+
+    Built once by a 6000-site IFA campaign over the Veqtor4 geometry
+    (``scripts/build_database.py``); this is the deployment model the
+    paper describes -- "we relieve the users from the burden of running
+    a time consuming IFA analysis".
+    """
+    path = Path(__file__).resolve().parent.parent / "data" / \
+        "cmos018_coverage.json"
+    return CoverageDatabase.load(path)

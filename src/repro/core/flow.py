@@ -1,0 +1,98 @@
+"""End-to-end memory test flow (the paper's Figure 2, orchestrated).
+
+:class:`MemoryTestFlow` wires the pieces together:
+
+1. build/accept the synthetic layout and extract defect sites (IFA);
+2. run the one-defect-at-a-time coverage campaign over a resistance grid
+   and the production stress-condition suite;
+3. collect the results into the pre-calculated database;
+4. hand the database to the :class:`FaultCoverageEstimator`.
+
+One call -- ``MemoryTestFlow(geometry).run()`` -- reproduces the paper's
+Table 1 for any memory organisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuit.technology import CMOS018, Technology
+from repro.core.database import CoverageDatabase
+from repro.core.estimator import EstimatorReport, FaultCoverageEstimator
+from repro.defects.behavior import BehaviorParams, DefectBehaviorModel
+from repro.defects.distribution import DefectDensity
+from repro.defects.models import DefectKind
+from repro.ifa.flow import TABLE1_RESISTANCES, IfaCampaign
+from repro.memory.geometry import MemoryGeometry
+from repro.stress import StressCondition, production_conditions
+
+
+@dataclass
+class FlowResult:
+    """Everything the flow produced."""
+
+    database: CoverageDatabase
+    estimator: FaultCoverageEstimator
+    bridge_report: EstimatorReport
+    open_report: EstimatorReport
+
+
+class MemoryTestFlow:
+    """The IFA-based memory test flow.
+
+    Args:
+        geometry: Memory organisation to analyse.
+        tech: Technology corner.
+        behavior_params: Optional calibration override.
+        n_sites: Site-population size per campaign.
+        seed: Campaign RNG seed.
+        density: Fab defect density for the yield/DPM models.
+    """
+
+    def __init__(self, geometry: MemoryGeometry,
+                 tech: Technology = CMOS018,
+                 behavior_params: BehaviorParams | None = None,
+                 n_sites: int = 2000, seed: int = 2005,
+                 density: DefectDensity | None = None) -> None:
+        self.geometry = geometry
+        self.tech = tech
+        self.behavior = DefectBehaviorModel(tech, params=behavior_params)
+        self.campaign = IfaCampaign(geometry, tech, behavior=self.behavior,
+                                    n_sites=n_sites, seed=seed)
+        self.density = density if density is not None else DefectDensity()
+
+    def conditions(self) -> dict[str, StressCondition]:
+        return production_conditions(self.tech)
+
+    def run(self,
+            bridge_resistances=TABLE1_RESISTANCES,
+            open_resistances=None,
+            yield_fraction: float | None = None) -> FlowResult:
+        """Run the full flow and return database + estimator reports.
+
+        Args:
+            bridge_resistances: R sweep for bridges (defaults to the
+                paper's Table 1 grid).
+            open_resistances: R sweep for opens (defaults to a log grid
+                over 10 kOhm .. 30 MOhm covering Figure 8's range).
+            yield_fraction: Optional yield override for the DPM model.
+        """
+        if open_resistances is None:
+            open_resistances = np.logspace(4, 7.5, 12)
+        conds = list(self.conditions().values())
+        database = CoverageDatabase()
+        database.add_records(self.campaign.run(
+            bridge_resistances, conds, DefectKind.BRIDGE))
+        database.add_records(self.campaign.run(
+            open_resistances, conds, DefectKind.OPEN))
+        estimator = FaultCoverageEstimator(database, density=self.density)
+        return FlowResult(
+            database=database,
+            estimator=estimator,
+            bridge_report=estimator.estimate(self.geometry, "bridge",
+                                             yield_fraction),
+            open_report=estimator.estimate(self.geometry, "open",
+                                           yield_fraction),
+        )

@@ -1,0 +1,76 @@
+"""Defect level (DPM) and yield models.
+
+Implements the paper's Section 3.1 equations:
+
+* Williams-Brown defect level [Williams 81]:
+  ``DL = 1 - Y^(1 - DC)``  (paper equation (1); the paper labels it DPM
+  -- the fraction converts to parts-per-million by scaling with 1e6);
+* Poisson yield: ``Y = exp(-A * D0)`` (paper equation (2)).
+
+Both are tiny formulas, but they are the contract between the coverage
+database and the quality numbers customers see, so they get a module,
+full validation and property tests.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def poisson_yield(area_um2: float, d0_per_cm2: float) -> float:
+    """Yield from chip area and fab defect density (paper eq. (2)).
+
+    Args:
+        area_um2: Chip (or memory) area in um^2.
+        d0_per_cm2: Defect density in defects/cm^2.
+
+    Returns:
+        Yield fraction in (0, 1].
+    """
+    if area_um2 < 0:
+        raise ValueError("area must be non-negative")
+    if d0_per_cm2 < 0:
+        raise ValueError("defect density must be non-negative")
+    return math.exp(-area_um2 * 1e-8 * d0_per_cm2)
+
+
+def defect_level(yield_fraction: float, defect_coverage: float) -> float:
+    """Williams-Brown defect level (escape fraction, paper eq. (1)).
+
+    Args:
+        yield_fraction: Process yield Y in (0, 1].
+        defect_coverage: Defect coverage DC in [0, 1].
+
+    Returns:
+        ``DL = 1 - Y^(1 - DC)``: the fraction of shipped parts that are
+        defective.  0 when coverage is perfect; ``1 - Y`` when the test
+        detects nothing.
+    """
+    if not 0.0 < yield_fraction <= 1.0:
+        raise ValueError(f"yield must be in (0, 1], got {yield_fraction}")
+    if not 0.0 <= defect_coverage <= 1.0:
+        raise ValueError(f"coverage must be in [0, 1], got {defect_coverage}")
+    return 1.0 - yield_fraction ** (1.0 - defect_coverage)
+
+
+def dpm(yield_fraction: float, defect_coverage: float) -> float:
+    """Defect level expressed in defective parts per million."""
+    return 1e6 * defect_level(yield_fraction, defect_coverage)
+
+
+def required_coverage(yield_fraction: float, target_dpm: float) -> float:
+    """Defect coverage needed to reach a DPM target (inverse model).
+
+    The planning question behind the paper's estimator: the automotive
+    market wants ~10 DPM; given the process yield, how much defect
+    coverage must the test bring?
+    """
+    if not 0.0 < yield_fraction < 1.0:
+        raise ValueError("yield must be in (0, 1) for the inverse model")
+    if target_dpm <= 0:
+        raise ValueError("target_dpm must be positive")
+    target_dl = target_dpm / 1e6
+    if target_dl >= 1.0 - yield_fraction:
+        return 0.0
+    # 1 - Y^(1-DC) = DL  =>  DC = 1 - ln(1 - DL)/ln(Y)
+    return 1.0 - math.log(1.0 - target_dl) / math.log(yield_fraction)

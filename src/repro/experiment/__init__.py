@@ -1,0 +1,48 @@
+"""Silicon-experiment simulation: Veqtor4 lots, classification, Venn.
+
+Monte-Carlo stand-in for the paper's industrial experiment: generate a
+lot of Veqtor4 test chips with fab-sampled defects, run the
+screen-then-stress protocol, and account the interesting devices in the
+Figure 11 Venn regions.
+"""
+
+from repro.experiment.classify import (
+    STANDARD_NAMES,
+    STRESS_NAMES,
+    DeviceRecord,
+    ExperimentResult,
+    StressClassifier,
+)
+from repro.experiment.diagnosis import (
+    DeviceDiagnosis,
+    LotDiagnosis,
+    LotDiagnostician,
+)
+from repro.experiment.montecarlo import (
+    MonteCarloResult,
+    RegionStats,
+    run_monte_carlo,
+)
+from repro.experiment.population import PopulationGenerator, PopulationSpec
+from repro.experiment.veqtor import VeqtorChip, VeqtorTestBench
+from repro.experiment.venn import PAPER_VENN, VennCounts
+
+__all__ = [
+    "DeviceDiagnosis",
+    "DeviceRecord",
+    "LotDiagnosis",
+    "LotDiagnostician",
+    "ExperimentResult",
+    "MonteCarloResult",
+    "RegionStats",
+    "PAPER_VENN",
+    "PopulationGenerator",
+    "PopulationSpec",
+    "STANDARD_NAMES",
+    "STRESS_NAMES",
+    "StressClassifier",
+    "VennCounts",
+    "VeqtorChip",
+    "VeqtorTestBench",
+    "run_monte_carlo",
+]

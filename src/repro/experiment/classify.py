@@ -1,0 +1,128 @@
+"""Stress-condition classification of a device lot.
+
+Implements the paper's experimental protocol (Section 5): every part is
+first screened with the 11N test at the *standard* conditions; parts
+that pass are then re-tested at the stress conditions (VLV, Vmax,
+at-speed).  A part failing at least one stress condition while passing
+the standard screen is an **interesting device** -- a test escape of the
+conventional flow -- and is labelled by the exact set of stress
+conditions it fails, which feeds the Venn diagram of Figure 11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuit.technology import CMOS018, Technology
+from repro.defects.behavior import DefectBehaviorModel
+from repro.experiment.veqtor import VeqtorChip, VeqtorTestBench
+from repro.march.library import TEST_11N
+from repro.march.test import MarchTest
+from repro.memory.geometry import VEQTOR4_INSTANCE, MemoryGeometry
+from repro.stress import StressCondition, production_conditions
+from repro.tester.ate import VirtualTester
+
+#: The stress conditions of the paper's Venn diagram.
+STRESS_NAMES = ("VLV", "Vmax", "at-speed")
+#: The standard screening conditions.
+STANDARD_NAMES = ("Vmin", "Vnom")
+
+
+@dataclass
+class DeviceRecord:
+    """Classification of one part.
+
+    Attributes:
+        chip: The part.
+        failed_standard: Failed the conventional screen (yield loss).
+        failed_stress: The subset of stress conditions failed (empty for
+            a fully good part).
+    """
+
+    chip: VeqtorChip
+    failed_standard: bool
+    failed_stress: frozenset[str] = frozenset()
+
+    @property
+    def interesting(self) -> bool:
+        """Passed standard, failed >= 1 stress condition."""
+        return not self.failed_standard and bool(self.failed_stress)
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of classifying a lot.
+
+    Attributes:
+        n_devices: Lot size.
+        records: One record per *defective* part (clean parts are
+            counted, not stored).
+        n_standard_fails: Parts failing the conventional screen.
+    """
+
+    n_devices: int
+    records: list[DeviceRecord] = field(default_factory=list)
+    n_standard_fails: int = 0
+
+    @property
+    def interesting_devices(self) -> list[DeviceRecord]:
+        return [r for r in self.records if r.interesting]
+
+    def stress_class_counts(self) -> dict[frozenset[str], int]:
+        """Counts per exact stress-fail set (the Venn regions)."""
+        out: dict[frozenset[str], int] = {}
+        for rec in self.interesting_devices:
+            out[rec.failed_stress] = out.get(rec.failed_stress, 0) + 1
+        return out
+
+    def escape_dpm(self, condition: str) -> float:
+        """Escapes-per-million of the standard flow that adding one
+        stress condition would have caught."""
+        caught = sum(1 for r in self.interesting_devices
+                     if condition in r.failed_stress)
+        return 1e6 * caught / self.n_devices
+
+
+class StressClassifier:
+    """Runs the screen-then-stress protocol over a lot.
+
+    Args:
+        tech: Technology corner.
+        test: March test (the paper's production 11N by default).
+        geometry: Per-instance organisation.
+        behavior: Behaviour model override (shared with the estimator in
+            the agreement benches).
+    """
+
+    def __init__(self, tech: Technology = CMOS018,
+                 test: MarchTest = TEST_11N,
+                 geometry: MemoryGeometry = VEQTOR4_INSTANCE,
+                 behavior: DefectBehaviorModel | None = None) -> None:
+        self.tech = tech
+        self.test = test
+        behavior = behavior if behavior is not None else DefectBehaviorModel(tech)
+        self.bench = VeqtorTestBench(VirtualTester(behavior), geometry, tech)
+        self.conditions = production_conditions(tech)
+
+    def classify(self, chips: list[VeqtorChip]) -> ExperimentResult:
+        """Classify a lot; clean chips short-circuit for speed."""
+        result = ExperimentResult(n_devices=len(chips))
+        standard = {n: self.conditions[n] for n in STANDARD_NAMES}
+        stress = {n: self.conditions[n] for n in STRESS_NAMES}
+        for chip in chips:
+            if not chip.is_defective:
+                continue
+            failed_standard = any(
+                self.bench.chip_fails(chip, self.test, cond)
+                for cond in standard.values()
+            )
+            if failed_standard:
+                result.n_standard_fails += 1
+                result.records.append(DeviceRecord(chip, True))
+                continue
+            failed = frozenset(
+                name for name, cond in stress.items()
+                if self.bench.chip_fails(chip, self.test, cond)
+            )
+            result.records.append(DeviceRecord(chip, False, failed))
+        return result

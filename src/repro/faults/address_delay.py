@@ -1,0 +1,127 @@
+"""Address-transition delay faults (decoder delay faults).
+
+The paper's reference [Azimane 04] ("New Test Methodology for Resistive
+Open Defect Detection in Memory Address Decoders") targets resistive
+opens in decoder address paths whose effect is a *delay* on one address
+bit.  :class:`AddressTransitionDelayFault` models the two hazard shapes
+such an open produces between back-to-back accesses:
+
+* **single-bit transition** (only the defective bit toggles, in the
+  sensitising polarity): the decode lingers on the previous word line --
+  the access lands fully on the *previous address* (strong wrong-access
+  behaviour);
+* **multi-bit transition** (the defective bit toggles together with
+  others): the previous word line is actively deselected by the healthy
+  bits while the new one waits for the lagging bit -- the selection is
+  merely *delayed*, completing correctly within the cycle: no
+  observable fault.
+
+Why this motivates MOVI: in a linear march only bit 0 ever toggles
+alone; every higher bit toggles exclusively on carry transitions, which
+are multi-bit and therefore harmless -- the fault escapes *any* march
+test in linear order.  The MOVI procedure rotates each bit into the
+fastest-toggling position, giving dense single-bit transitions in both
+polarities: the wrong-access behaviour is exercised and caught.
+``benchmarks/test_movi_decoder_opens.py`` measures the gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.faults.models import FunctionalFault, MemoryState
+
+
+@dataclass
+class AddressTransitionDelayFault(FunctionalFault):
+    """Delay fault on one address-decoder input bit.
+
+    Args:
+        bit: The lagging address bit.
+        rising: Sensitising polarity -- ``True`` when the defect delays
+            the 0->1 transition of the bit (e.g. an open in the true
+            phase driver), ``False`` for 1->0.
+        address_bits: Width of the address space.
+        max_gap_cycles: Maximum cycle distance between the two accesses
+            for the stale decode to matter (1 = strictly back-to-back:
+            the fault is invisible below the at-speed condition).
+    """
+
+    bit: int
+    rising: bool
+    address_bits: int
+    max_gap_cycles: int = 1
+    mnemonic: str = field(default="AFdly", init=False)
+    _last_address: int | None = field(default=None, init=False)
+    _last_cycle: int = field(default=-(10 ** 9), init=False)
+
+    def __post_init__(self):
+        if not 0 <= self.bit < self.address_bits:
+            raise ValueError(
+                f"bit {self.bit} out of range for {self.address_bits} "
+                "address bits")
+        if self.max_gap_cycles < 1:
+            raise ValueError("max_gap_cycles must be >= 1")
+
+    def reset(self):
+        self._last_address = None
+        self._last_cycle = -(10 ** 9)
+
+    # ------------------------------------------------------------------
+    def _hazard(self, address: int, cycle: int) -> str:
+        """Classify this access: 'none' or 'wrong' (previous address).
+
+        Only a single-bit toggle of the lagging bit leaves the previous
+        word line selected; multi-bit transitions deselect it through
+        the healthy bits and merely delay the new selection.
+        """
+        prev = self._last_address
+        if prev is None or cycle - self._last_cycle > self.max_gap_cycles:
+            return "none"
+        mask = 1 << self.bit
+        diff = prev ^ address
+        if diff != mask:
+            return "none"
+        new_bit = address & mask
+        polarity_ok = (new_bit and self.rising) or \
+            (not new_bit and not self.rising)
+        return "wrong" if polarity_ok else "none"
+
+    def _note_access(self, address: int, cycle: int) -> None:
+        self._last_address = address
+        self._last_cycle = cycle
+
+    def write(self, mem: MemoryState, address: int, value: int,
+              cycle: int) -> None:
+        hazard = self._hazard(address, cycle)
+        self._note_access(address, cycle)
+        if hazard == "wrong":
+            prev = address ^ (1 << self.bit)
+            mem.set(prev, value)
+            mem.touch(prev, cycle)
+            return
+        mem.set(address, value)
+        mem.touch(address, cycle)
+
+    def read(self, mem: MemoryState, address: int, cycle: int) -> int:
+        hazard = self._hazard(address, cycle)
+        self._note_access(address, cycle)
+        if hazard == "wrong":
+            prev = address ^ (1 << self.bit)
+            value = mem.get(prev)
+        else:
+            value = mem.get(address)
+        return value
+
+
+def generate_address_delay_faults(address_bits: int,
+                                  max_gap_cycles: int = 1,
+                                  ) -> list[AddressTransitionDelayFault]:
+    """The complete fault universe: both polarities of every address bit."""
+    out = []
+    for bit in range(address_bits):
+        for rising in (True, False):
+            out.append(AddressTransitionDelayFault(
+                bit=bit, rising=rising, address_bits=address_bits,
+                max_gap_cycles=max_gap_cycles))
+    return out

@@ -1,0 +1,108 @@
+"""Critical-area computation for shorts and opens.
+
+Classic inductive-fault-analysis machinery [Shen/Maly/Ferguson 85]: for a
+circular spot defect of diameter ``x``, the *critical area* ``A(x)`` is
+the region where the defect centre causes a fault.  Integrating over the
+defect size distribution (the standard ``k / x^3`` tail) yields a
+per-site likelihood weight:
+
+* **shorts** between two parallel edges of length ``L`` at spacing
+  ``s``: ``A(x) = L * (x - s)`` for ``x > s``, giving weight
+  ``w = ∫ A(x) k x^-3 dx = k * L / (2 s)``;
+* **opens** cutting a wire of width ``w_w`` and length ``L``:
+  ``A(x) = L * (x - w_w)`` for ``x > w_w``, weight ``k * L / (2 w_w)``
+  -- plus per-via weights for via/contact opens.
+
+Only relative weights matter downstream (they are normalised into a
+probability mix), so ``k`` is taken as 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ifa.layout import Rect
+
+
+@dataclass(frozen=True)
+class AdjacentPair:
+    """Two same-layer rectangles facing each other.
+
+    Attributes:
+        a, b: The rectangles.
+        spacing: Edge-to-edge distance (um).
+        facing_length: Overlap length of the facing edges (um).
+    """
+
+    a: Rect
+    b: Rect
+    spacing: float
+    facing_length: float
+
+
+def short_weight(spacing: float, facing_length: float) -> float:
+    """Relative likelihood of a short between two facing edges."""
+    if spacing <= 0:
+        raise ValueError("spacing must be positive")
+    if facing_length <= 0:
+        return 0.0
+    return facing_length / (2.0 * spacing)
+
+
+def open_weight(width: float, length: float) -> float:
+    """Relative likelihood of an open cutting a wire segment."""
+    if width <= 0:
+        raise ValueError("width must be positive")
+    if length <= 0:
+        return 0.0
+    return length / (2.0 * width)
+
+
+def find_adjacent_pairs(rects: list[Rect], max_spacing: float = 1.0,
+                        ) -> list[AdjacentPair]:
+    """All same-layer, different-net facing pairs within ``max_spacing``.
+
+    A simple O(n^2) sweep per layer (the generated layouts are small);
+    both horizontal and vertical adjacency are considered, taking the
+    orientation with the larger facing length.
+    """
+    by_layer: dict[str, list[Rect]] = {}
+    for r in rects:
+        by_layer.setdefault(r.layer, []).append(r)
+
+    pairs: list[AdjacentPair] = []
+    for layer_rects in by_layer.values():
+        n = len(layer_rects)
+        for i in range(n):
+            for j in range(i + 1, n):
+                a, b = layer_rects[i], layer_rects[j]
+                if a.net == b.net:
+                    continue
+                pair = _facing(a, b, max_spacing)
+                if pair is not None:
+                    pairs.append(pair)
+    return pairs
+
+
+def _facing(a: Rect, b: Rect, max_spacing: float) -> AdjacentPair | None:
+    """Geometric adjacency test for two rectangles."""
+    # Horizontal gap (a left of b or vice versa) with vertical overlap.
+    gap_x = max(b.x0 - a.x1, a.x0 - b.x1)
+    overlap_y = min(a.y1, b.y1) - max(a.y0, b.y0)
+    # Vertical gap with horizontal overlap.
+    gap_y = max(b.y0 - a.y1, a.y0 - b.y1)
+    overlap_x = min(a.x1, b.x1) - max(a.x0, b.x0)
+
+    candidates = []
+    if 0.0 < gap_x <= max_spacing and overlap_y > 0.0:
+        candidates.append((gap_x, overlap_y))
+    if 0.0 < gap_y <= max_spacing and overlap_x > 0.0:
+        candidates.append((gap_y, overlap_x))
+    if not candidates:
+        return None
+    spacing, length = max(candidates, key=lambda c: c[1])
+    return AdjacentPair(a, b, spacing, length)
+
+
+def total_short_weight(pairs: list[AdjacentPair]) -> float:
+    return sum(short_weight(p.spacing, p.facing_length) for p in pairs)

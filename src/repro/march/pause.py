@@ -1,0 +1,76 @@
+"""Pause (delay) elements for data-retention testing.
+
+Several published march tests -- March G being the canonical example --
+interleave *delay* elements between march elements: the test idles for a
+retention interval so cells with data-retention faults (weak pull-ups,
+leaky storage nodes; the pull-up-open class of this library) have time
+to lose their state before the following read pass.
+
+:class:`PauseElement` represents such a delay.  It applies no operations
+to any address; the sequencer simply advances the cycle counter, which
+is exactly what lets :class:`~repro.faults.models.DataRetentionFault`
+(idle-cycle driven) decay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PauseElement:
+    """A delay element: idle for a fixed number of clock cycles.
+
+    Attributes:
+        cycles: Idle clock cycles.  Production tests express the pause in
+            wall time (e.g. 100 ms); at a fixed test period the two views
+            are proportional, and the functional machinery works in
+            cycles.
+    """
+
+    cycles: int
+
+    def __post_init__(self) -> None:
+        if self.cycles <= 0:
+            raise ValueError("pause must last at least one cycle")
+
+    def __len__(self) -> int:
+        """Operations per address: none (pauses add time, not ops)."""
+        return 0
+
+    @property
+    def notation(self) -> str:
+        return f"Del({self.cycles})"
+
+    def __str__(self) -> str:
+        return self.notation
+
+    # March-element protocol stubs (state-neutral):
+    @property
+    def ops(self) -> tuple:
+        return ()
+
+    @property
+    def reads(self) -> tuple:
+        return ()
+
+    @property
+    def writes(self) -> tuple:
+        return ()
+
+    def final_write_value(self) -> None:
+        return None
+
+    def entry_state(self) -> None:
+        return None
+
+    def is_consistent(self) -> bool:
+        return True
+
+    @staticmethod
+    def parse(text: str) -> "PauseElement":
+        """Parse ``'Del(100)'`` notation."""
+        text = text.strip()
+        if not (text.startswith("Del(") and text.endswith(")")):
+            raise ValueError(f"cannot parse pause element: {text!r}")
+        return PauseElement(int(text[4:-1]))

@@ -1,0 +1,147 @@
+"""Structural validation of march tests.
+
+Production test programs are validated before silicon ever sees them;
+this module provides the equivalent static checks for march tests built
+or parsed by users:
+
+* read-expectation consistency against an ideal memory (whole-test walk),
+* initialisation (the test must not read an undefined array),
+* per-element internal consistency,
+* detection-capability lower bounds (a test with no reads detects
+  nothing; a test without both 0-reads and 1-reads cannot detect both
+  stuck-at polarities).
+
+:func:`validate` returns a list of :class:`Issue` records rather than
+raising, so callers can render all problems at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.march.pause import PauseElement
+from repro.march.test import MarchTest
+
+
+class Severity(Enum):
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Issue:
+    """One validation finding."""
+
+    severity: Severity
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity.value}] {self.code}: {self.message}"
+
+
+def validate(test: MarchTest) -> list[Issue]:
+    """Run all static checks on a march test."""
+    issues: list[Issue] = []
+    issues.extend(_check_initialisation(test))
+    issues.extend(_check_consistency(test))
+    issues.extend(_check_detection_capability(test))
+    return issues
+
+
+def is_valid(test: MarchTest) -> bool:
+    """True when :func:`validate` reports no errors (warnings allowed)."""
+    return not any(i.severity is Severity.ERROR for i in validate(test))
+
+
+def assert_valid(test: MarchTest) -> None:
+    """Raise ``ValueError`` listing every error-severity issue."""
+    errors = [i for i in validate(test) if i.severity is Severity.ERROR]
+    if errors:
+        details = "; ".join(str(i) for i in errors)
+        raise ValueError(f"march test {test.name!r} is invalid: {details}")
+
+
+def _check_initialisation(test: MarchTest) -> list[Issue]:
+    first = next((el for el in test.elements
+                  if not isinstance(el, PauseElement)), None)
+    if first is None:
+        return [Issue(Severity.ERROR, "no-operations",
+                      "test contains only pause elements")]
+    if first.ops[0].is_read:
+        return [Issue(
+            Severity.ERROR,
+            "uninitialised-read",
+            f"first element {first.notation} reads before any write; the "
+            "array content is undefined at power-up",
+        )]
+    return []
+
+
+def _check_consistency(test: MarchTest) -> list[Issue]:
+    issues: list[Issue] = []
+    state: int | None = None
+    for idx, element in enumerate(test.elements):
+        if not element.is_consistent():
+            issues.append(Issue(
+                Severity.ERROR,
+                "element-inconsistent",
+                f"element {idx} {element.notation} reads a value that "
+                "contradicts its own preceding write",
+            ))
+        entry = element.entry_state()
+        if entry is not None and state is not None and entry != state:
+            issues.append(Issue(
+                Severity.ERROR,
+                "entry-state-mismatch",
+                f"element {idx} {element.notation} expects cells = {entry} "
+                f"but the previous elements leave cells = {state}",
+            ))
+        final = element.final_write_value()
+        if final is not None:
+            state = final
+    return issues
+
+
+def _check_detection_capability(test: MarchTest) -> list[Issue]:
+    issues: list[Issue] = []
+    if test.read_count() == 0:
+        issues.append(Issue(
+            Severity.ERROR,
+            "no-reads",
+            "test performs no reads and therefore cannot detect anything",
+        ))
+        return issues
+    read_values = {op.value for el in test.elements for op in el.reads}
+    if 0 not in read_values:
+        issues.append(Issue(
+            Severity.WARNING,
+            "no-read0",
+            "test never reads 0: stuck-at-1 cells escape",
+        ))
+    if 1 not in read_values:
+        issues.append(Issue(
+            Severity.WARNING,
+            "no-read1",
+            "test never reads 1: stuck-at-0 cells escape",
+        ))
+    if test.transition_count() < 2:
+        issues.append(Issue(
+            Severity.WARNING,
+            "weak-transitions",
+            "test exercises fewer than two write transitions per cell; "
+            "transition faults may escape",
+        ))
+    orders = {el.order for el in test.elements
+              if not isinstance(el, PauseElement)}
+    from repro.march.element import AddressOrder
+
+    if AddressOrder.UP not in orders or AddressOrder.DOWN not in orders:
+        issues.append(Issue(
+            Severity.WARNING,
+            "single-direction",
+            "test marches in only one address direction; address-decoder "
+            "and inter-cell coupling coverage is reduced",
+        ))
+    return issues

@@ -1,0 +1,73 @@
+"""Bit-line precharge/equalise circuit model.
+
+Before every access both bit lines are precharged to Vdd and equalised.
+An incomplete precharge (short window at speed, or a resistive open in
+the precharge PMOS) leaves residual differential from the previous
+access on the lines -- one of the mechanisms that make some defects
+*frequency*-dependent rather than voltage-dependent (paper Section 4.3).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.circuit.devices import Mosfet, MosType
+from repro.circuit.technology import Technology
+
+
+@dataclass(frozen=True)
+class Precharge:
+    """Bit-line precharge circuit.
+
+    Attributes:
+        tech: Technology corner.
+        width: Precharge PMOS width multiplier.
+        bitline_capacitance: Bit-line capacitance (F).
+        precharge_fraction: Fraction of the clock period allotted to
+            precharge.
+    """
+
+    tech: Technology
+    width: float = 4.0
+    bitline_capacitance: float = 150e-15
+    precharge_fraction: float = 0.4
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError("width must be positive")
+        if self.bitline_capacitance <= 0:
+            raise ValueError("bitline_capacitance must be positive")
+        if not 0 < self.precharge_fraction < 1:
+            raise ValueError("precharge_fraction must be in (0, 1)")
+
+    def time_constant(self, vdd: float, series_resistance: float = 0.0) -> float:
+        """RC time constant of the precharge pull-up path."""
+        pmos = Mosfet("pc", MosType.PMOS, "d", "g", "s", self.width, self.tech)
+        r_on = pmos.on_resistance(vdd)
+        return (r_on + max(series_resistance, 0.0)) * self.bitline_capacitance
+
+    def residual_differential(self, vdd: float, period: float,
+                              initial_differential: float,
+                              series_resistance: float = 0.0) -> float:
+        """Differential left on the pair after the precharge window.
+
+        Exponential equalisation toward zero differential:
+        ``dV_residual = dV_initial * exp(-t_pc / tau)``.
+        """
+        if period <= 0:
+            raise ValueError("period must be positive")
+        tau = self.time_constant(vdd, series_resistance)
+        if tau <= 0.0:
+            return 0.0
+        t_pc = self.precharge_fraction * period
+        return initial_differential * math.exp(-t_pc / tau)
+
+    def is_complete(self, vdd: float, period: float,
+                    series_resistance: float = 0.0,
+                    tolerance: float = 0.02) -> bool:
+        """Precharge completes when the worst-case previous differential
+        (full swing) decays below ``tolerance * vdd``."""
+        residual = self.residual_differential(vdd, period, vdd,
+                                              series_resistance)
+        return residual <= tolerance * vdd

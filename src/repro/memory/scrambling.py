@@ -1,0 +1,186 @@
+"""Address and data scrambling: logical vs topological views.
+
+Production SRAMs rarely map logical addresses linearly onto physical
+rows/columns: decoders fold address bits for routing convenience, and
+cell columns alternate true/complement orientation so neighbouring
+cells share wells.  Consequences the library must model:
+
+* bitmap diagnosis (paper Section 4) works on *physical* coordinates --
+  the tester descrambles logical fail addresses before reasoning about
+  neighbourhoods;
+* coupling/bridge adjacency lives in physical space: two logically
+  distant addresses can be physical neighbours;
+* a logical checkerboard background is not a physical checkerboard
+  unless the pattern generator is scramble-aware (why data-background
+  options exist on real BIST engines).
+
+:class:`AddressScrambler` implements the standard bit-permute + XOR-fold
+family (self-inverse XOR stage, explicit inverse for the permutation);
+:class:`DataScrambler` models per-column true/complement orientation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.memory.geometry import MemoryGeometry
+
+
+@dataclass(frozen=True)
+class AddressScrambler:
+    """Bijective logical-to-physical address mapping.
+
+    physical = permute(logical) XOR xor_mask, where ``permutation[i]``
+    names the logical bit feeding physical bit *i*.
+
+    Attributes:
+        address_bits: Address width.
+        permutation: Tuple of length ``address_bits`` (a permutation of
+            ``range(address_bits)``).
+        xor_mask: XOR applied after permutation (row-fold scrambling).
+    """
+
+    address_bits: int
+    permutation: tuple[int, ...] = ()
+    xor_mask: int = 0
+
+    def __post_init__(self) -> None:
+        if self.address_bits <= 0:
+            raise ValueError("address_bits must be positive")
+        perm = self.permutation or tuple(range(self.address_bits))
+        object.__setattr__(self, "permutation", perm)
+        if sorted(perm) != list(range(self.address_bits)):
+            raise ValueError(
+                f"permutation must rearrange range({self.address_bits})")
+        if not 0 <= self.xor_mask < (1 << self.address_bits):
+            raise ValueError("xor_mask must fit the address width")
+
+    @property
+    def size(self) -> int:
+        return 1 << self.address_bits
+
+    def scramble(self, logical: int) -> int:
+        """Logical address -> physical address."""
+        if not 0 <= logical < self.size:
+            raise ValueError(f"address {logical} out of range")
+        physical = 0
+        for phys_bit, log_bit in enumerate(self.permutation):
+            if (logical >> log_bit) & 1:
+                physical |= 1 << phys_bit
+        return physical ^ self.xor_mask
+
+    def descramble(self, physical: int) -> int:
+        """Physical address -> logical address (exact inverse)."""
+        if not 0 <= physical < self.size:
+            raise ValueError(f"address {physical} out of range")
+        unmasked = physical ^ self.xor_mask
+        logical = 0
+        for phys_bit, log_bit in enumerate(self.permutation):
+            if (unmasked >> phys_bit) & 1:
+                logical |= 1 << log_bit
+        return logical
+
+    @classmethod
+    def typical(cls, address_bits: int) -> "AddressScrambler":
+        """A representative scramble: swap the two LSBs with the two
+        MSBs (column-mux routing) and fold the lowest row pair."""
+        if address_bits < 4:
+            return cls(address_bits)
+        perm = list(range(address_bits))
+        perm[0], perm[-1] = perm[-1], perm[0]
+        perm[1], perm[-2] = perm[-2], perm[1]
+        return cls(address_bits, tuple(perm), xor_mask=0b01)
+
+
+@dataclass(frozen=True)
+class DataScrambler:
+    """Per-bitline true/complement cell orientation.
+
+    ``inversion_mask`` bit *b* set means physical column group *b*
+    stores the complement of the logical data bit.
+
+    Attributes:
+        bits_per_word: Word width.
+        inversion_mask: Which data bits are stored inverted.
+    """
+
+    bits_per_word: int
+    inversion_mask: int = 0
+
+    def __post_init__(self) -> None:
+        if self.bits_per_word <= 0:
+            raise ValueError("bits_per_word must be positive")
+        if not 0 <= self.inversion_mask < (1 << self.bits_per_word):
+            raise ValueError("inversion_mask must fit the word width")
+
+    def to_physical(self, word: int) -> int:
+        """Logical word -> stored cell values."""
+        if not 0 <= word < (1 << self.bits_per_word):
+            raise ValueError("word out of range")
+        return word ^ self.inversion_mask
+
+    def to_logical(self, stored: int) -> int:
+        """Stored cell values -> logical word (involution)."""
+        return self.to_physical(stored)
+
+    @classmethod
+    def alternating(cls, bits_per_word: int) -> "DataScrambler":
+        """Odd data bits inverted -- the common paired-column layout."""
+        mask = 0
+        for b in range(1, bits_per_word, 2):
+            mask |= 1 << b
+        return cls(bits_per_word, mask)
+
+
+@dataclass
+class ScrambledView:
+    """Logical-access view over a physically organised memory.
+
+    Combines geometry, address scrambling and data scrambling to answer
+    the diagnosis-critical questions: which *physical* cell does a
+    logical access touch, and which logical addresses are physical
+    neighbours.
+    """
+
+    geometry: MemoryGeometry
+    address: AddressScrambler = field(default=None)  # type: ignore[assignment]
+    data: DataScrambler = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.address is None:
+            self.address = AddressScrambler(self.geometry.address_bits)
+        if self.data is None:
+            self.data = DataScrambler(self.geometry.bits_per_word)
+        if self.address.size != self.geometry.words:
+            # A 2^k scramble folded onto a smaller word count is not
+            # injective -- two logical addresses would silently share a
+            # cell.  Scrambled views therefore require a power-of-two
+            # word count matching the scrambler width exactly.
+            raise ValueError(
+                f"address scrambler spans {self.address.size} addresses "
+                f"but the memory has {self.geometry.words} words; "
+                "scrambling requires an exact power-of-two match")
+
+    # ------------------------------------------------------------------
+    def physical_cell(self, logical_address: int, bit: int) -> int:
+        """Flat physical cell index of a logical (address, bit) access."""
+        physical = self.address.scramble(logical_address)
+        return self.geometry.cell_index(physical, bit)
+
+    def stored_value(self, logical_address: int, bit: int, value: int) -> int:
+        """The level actually stored in the cell for a logical write."""
+        word = value << bit
+        return (self.data.to_physical(word) >> bit) & 1
+
+    def logical_neighbours(self, logical_address: int, bit: int,
+                           ) -> list[tuple[int, int]]:
+        """Logical (address, bit) pairs physically adjacent to an access.
+
+        The set a coupling-fault diagnosis must consider -- generally
+        *not* logical-address neighbours.
+        """
+        physical = self.address.scramble(logical_address)
+        out = []
+        for n_addr, n_bit in self.geometry.neighbours(physical, bit):
+            out.append((self.address.descramble(n_addr), n_bit))
+        return out

@@ -1,0 +1,111 @@
+"""Write driver and write-path timing model.
+
+The write driver pulls one bit line low (and keeps the other precharged)
+hard enough to overpower the cell's pull-up through the access
+transistor.  Its figures of merit:
+
+* write margin -- how much weaker the driver may become (e.g. through a
+  resistive open in series with the bit line) before the write fails;
+* write time -- how fast the cell internal node crosses the trip point,
+  which degrades with supply voltage and with series resistance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.circuit.devices import Mosfet, MosType
+from repro.circuit.technology import Technology
+from repro.memory.cell import CellRatios
+
+
+@dataclass(frozen=True)
+class WriteDriver:
+    """Bit-line write driver.
+
+    Attributes:
+        tech: Technology corner.
+        width: Driver NMOS width multiplier (strong, typically >= 4x).
+        cell_ratios: Sizing of the cell being written.
+        node_capacitance: Cell storage-node capacitance (F).
+    """
+
+    tech: Technology
+    width: float = 6.0
+    cell_ratios: CellRatios = CellRatios()
+    node_capacitance: float = 3.2e-15
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError("width must be positive")
+        if self.node_capacitance <= 0:
+            raise ValueError("node_capacitance must be positive")
+
+    def drive_current(self, vdd: float, series_resistance: float = 0.0) -> float:
+        """Effective write current into the cell node.
+
+        The driver discharges the bit line; the cell node follows through
+        the access transistor.  The weaker of the two (access transistor
+        vs driver-through-R) limits the write.  Series resistance models
+        an open defect in the write path; it clips the driver current at
+        ``vdd/2 / R`` (the driver must hold the bit line below the trip
+        point against the cell pull-up).
+        """
+        if series_resistance < 0:
+            raise ValueError("series_resistance must be non-negative")
+        driver = Mosfet("wd", MosType.NMOS, "d", "g", "s", self.width,
+                        self.tech)
+        access = Mosfet("ax", MosType.NMOS, "d", "g", "s",
+                        self.cell_ratios.access, self.tech)
+        i_driver = driver.saturation_current(vdd)
+        i_access = access.saturation_current(vdd)
+        if series_resistance > 0.0:
+            i_r = (vdd / 2.0) / series_resistance
+            i_driver = min(i_driver, i_r)
+        if i_driver <= 0.0 or i_access <= 0.0:
+            return 0.0
+        return (i_driver * i_access) / (i_driver + i_access)
+
+    def opposing_current(self, vdd: float) -> float:
+        """Cell pull-up current opposing the write (PMOS holding the
+        node high)."""
+        pull_up = Mosfet("pu", MosType.PMOS, "d", "g", "s",
+                         self.cell_ratios.pull_up, self.tech)
+        # PMOS gate driven to ground: vgs = -vdd.
+        return pull_up.saturation_current(-vdd)
+
+    def can_write(self, vdd: float, series_resistance: float = 0.0) -> bool:
+        """Write succeeds when the drive overpowers the cell pull-up with
+        margin (the classic ratioed-fight criterion)."""
+        return (self.drive_current(vdd, series_resistance)
+                > 1.1 * self.opposing_current(vdd))
+
+    def write_time(self, vdd: float, series_resistance: float = 0.0) -> float:
+        """Time for the cell node to cross the trip point (s)."""
+        net = (self.drive_current(vdd, series_resistance)
+               - self.opposing_current(vdd))
+        if net <= 0.0:
+            return math.inf
+        return self.node_capacitance * (vdd / 2.0) / net
+
+    def critical_open_resistance(self, vdd: float, period: float,
+                                 write_fraction: float = 0.45) -> float:
+        """Largest series open resistance at which a write still completes
+        within its window at the given period.
+
+        Solved in closed form from the drive-current model; used by the
+        behavioural open-defect model for write-path opens.
+        """
+        budget = write_fraction * period
+        lo, hi = 0.0, 1e9
+        if not self.can_write(vdd) or self.write_time(vdd) > budget:
+            return 0.0
+        for _ in range(60):
+            mid = (lo + hi) / 2.0
+            ok = self.can_write(vdd, mid) and self.write_time(vdd, mid) <= budget
+            if ok:
+                lo = mid
+            else:
+                hi = mid
+        return lo

@@ -1,0 +1,169 @@
+"""Fail-bitmap analysis and defect-class diagnosis.
+
+The paper reads its failing devices through *bitmapping*: which physical
+cells failed, in which clock cycles, belonging to which march elements.
+From that it reasons to the defect class -- e.g. Chip-1 fails in three
+clock cycles of elements {R0W1}, {R1W0R0} and {R0W1R1}, always the same
+cell, always reading '0': a resistive bridge acting as a stuck-at-1 at
+low supply only (Section 4.1).
+
+:class:`BitmapAnalyzer` reproduces that reasoning chain over
+:class:`~repro.tester.ate.AteFailRecord` logs.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.march.test import MarchTest
+from repro.memory.geometry import MemoryGeometry
+from repro.tester.ate import AteFailRecord
+
+
+class DefectClassHint(Enum):
+    """Diagnosis outcome: the defect family the bitmap points to."""
+
+    SINGLE_CELL_STUCK = "single_cell_stuck"
+    SINGLE_CELL_DISTURB = "single_cell_disturb"
+    ROW_FAILURE = "row_failure"
+    COLUMN_FAILURE = "column_failure"
+    ADDRESS_PAIR = "address_pair"
+    SCATTERED = "scattered"
+    CLEAN = "clean"
+
+
+@dataclass(frozen=True)
+class ElementSignature:
+    """One failing march element with the failing read highlighted.
+
+    Rendered like the paper: ``{R0W1}`` with the failing op index noted.
+    """
+
+    element_index: int
+    notation: str
+    failing_op_index: int
+    fail_count: int
+
+
+@dataclass
+class Diagnosis:
+    """Bitmap diagnosis of one failing test run.
+
+    Attributes:
+        hint: Structural classification.
+        failing_cells: Set of (word address, bit) pairs.
+        failing_rows / failing_bitlines: Physical coordinates touched.
+        element_signatures: Per-march-element fail signatures.
+        read_value_bias: The expected value of failing reads when they
+            all agree (0 -> behaves stuck-at-1, 1 -> stuck-at-0);
+            ``None`` when mixed.
+        summary: One-paragraph human-readable analysis.
+    """
+
+    hint: DefectClassHint
+    failing_cells: set[tuple[int, int]] = field(default_factory=set)
+    failing_rows: set[int] = field(default_factory=set)
+    failing_bitlines: set[int] = field(default_factory=set)
+    element_signatures: list[ElementSignature] = field(default_factory=list)
+    read_value_bias: int | None = None
+    summary: str = ""
+
+
+class BitmapAnalyzer:
+    """Diagnose fail logs against the memory's physical organisation."""
+
+    def __init__(self, geometry: MemoryGeometry, test: MarchTest) -> None:
+        self.geometry = geometry
+        self.test = test
+
+    def diagnose(self, fails: list[AteFailRecord]) -> Diagnosis:
+        """Classify a fail log into a defect-class hint."""
+        if not fails:
+            return Diagnosis(DefectClassHint.CLEAN,
+                             summary="no failing reads: device passes")
+
+        cells = {(f.address, f.bit) for f in fails}
+        rows: set[int] = set()
+        bitlines: set[int] = set()
+        for address, bit in cells:
+            _, row, bitline = self.geometry.bit_position(address, bit)
+            rows.add(row)
+            bitlines.add(bitline)
+
+        signatures = self._element_signatures(fails)
+        expected_values = {f.expected for f in fails}
+        bias = expected_values.pop() if len(expected_values) == 1 else None
+
+        hint = self._classify(cells, rows, bitlines)
+        summary = self._summarise(hint, cells, signatures, bias)
+        return Diagnosis(
+            hint=hint,
+            failing_cells=cells,
+            failing_rows=rows,
+            failing_bitlines=bitlines,
+            element_signatures=signatures,
+            read_value_bias=bias,
+            summary=summary,
+        )
+
+    # ------------------------------------------------------------------
+    def _element_signatures(self, fails: list[AteFailRecord],
+                            ) -> list[ElementSignature]:
+        counts: Counter[tuple[int, int]] = Counter(
+            (f.element_index, f.op_index) for f in fails
+        )
+        out = []
+        for (ei, oi), n in sorted(counts.items()):
+            element = self.test.elements[ei]
+            body = "".join(
+                op.notation.upper() for op in element.ops
+            )
+            out.append(ElementSignature(
+                element_index=ei,
+                notation="{" + body + "}",
+                failing_op_index=oi,
+                fail_count=n,
+            ))
+        return out
+
+    def _classify(self, cells: set[tuple[int, int]], rows: set[int],
+                  bitlines: set[int]) -> DefectClassHint:
+        if len(cells) == 1:
+            return DefectClassHint.SINGLE_CELL_STUCK
+        if len(cells) == 2:
+            return DefectClassHint.ADDRESS_PAIR
+        if len(rows) == 1 and len(bitlines) > 2:
+            return DefectClassHint.ROW_FAILURE
+        if len(bitlines) == 1 and len(rows) > 2:
+            return DefectClassHint.COLUMN_FAILURE
+        return DefectClassHint.SCATTERED
+
+    def _summarise(self, hint: DefectClassHint,
+                   cells: set[tuple[int, int]],
+                   signatures: list[ElementSignature],
+                   bias: int | None) -> str:
+        parts = [
+            f"{len(cells)} failing cell(s); "
+            f"march elements {', '.join(s.notation for s in signatures)}"
+        ]
+        if bias is not None:
+            behaves = "stuck-at-1" if bias == 0 else "stuck-at-0"
+            parts.append(
+                f"all fails while reading '{bias}' -> behaves like {behaves}"
+            )
+        if hint is DefectClassHint.SINGLE_CELL_STUCK:
+            parts.append(
+                "single-bit failure in the matrix (cell-level resistive "
+                "defect candidate)"
+            )
+        elif hint is DefectClassHint.ADDRESS_PAIR:
+            parts.append(
+                "two coupled addresses (address-decoder hazard or "
+                "inter-cell defect candidate)"
+            )
+        elif hint in (DefectClassHint.ROW_FAILURE,
+                      DefectClassHint.COLUMN_FAILURE):
+            parts.append("line-oriented failure (decoder/bitline defect)")
+        return "; ".join(parts)

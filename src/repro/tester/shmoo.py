@@ -1,0 +1,162 @@
+"""Shmoo plots: pass/fail over the (Vdd, clock period) plane.
+
+The paper's experimental evidence is presented as tester-generated shmoo
+plots (Figures 3, 4, 7, 9, 10): supply voltage on the Y axis, clock
+period on the X axis, one pass/fail mark per grid point.
+:class:`ShmooRunner` sweeps the virtual tester over the grid;
+:class:`ShmooPlot` holds the result, extracts boundaries and renders the
+classic ASCII shmoo.
+
+Axis conventions follow the paper: X = period ascending left-to-right
+(so "at-speed" is on the left), Y = voltage ascending bottom-to-top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.defects.models import Defect
+from repro.march.test import MarchTest
+from repro.memory.sram import Sram
+from repro.stress import StressCondition
+from repro.tester.ate import VirtualTester
+
+PASS_MARK = "+"
+FAIL_MARK = "."
+
+
+@dataclass
+class ShmooPlot:
+    """A filled shmoo grid.
+
+    Attributes:
+        voltages: Y-axis values (V), ascending.
+        periods: X-axis values (s), ascending.
+        passed: Boolean matrix ``[i_voltage, j_period]``.
+        title: Plot label.
+    """
+
+    voltages: np.ndarray
+    periods: np.ndarray
+    passed: np.ndarray
+    title: str = ""
+
+    def __post_init__(self) -> None:
+        self.voltages = np.asarray(self.voltages, dtype=float)
+        self.periods = np.asarray(self.periods, dtype=float)
+        self.passed = np.asarray(self.passed, dtype=bool)
+        if self.passed.shape != (self.voltages.size, self.periods.size):
+            raise ValueError("passed matrix shape mismatch")
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def passes_at(self, vdd: float, period: float) -> bool:
+        """Pass/fail at the grid point nearest to (vdd, period)."""
+        i = int(np.abs(self.voltages - vdd).argmin())
+        j = int(np.abs(self.periods - period).argmin())
+        return bool(self.passed[i, j])
+
+    def min_passing_voltage(self, period: float) -> float | None:
+        """Lowest passing Vdd at a period (None if the column all fails)."""
+        j = int(np.abs(self.periods - period).argmin())
+        col = self.passed[:, j]
+        idx = np.flatnonzero(col)
+        return float(self.voltages[idx[0]]) if idx.size else None
+
+    def min_passing_period(self, vdd: float) -> float | None:
+        """Shortest passing period at a voltage (None if the row fails)."""
+        i = int(np.abs(self.voltages - vdd).argmin())
+        row = self.passed[i, :]
+        idx = np.flatnonzero(row)
+        return float(self.periods[idx[0]]) if idx.size else None
+
+    def fail_region_fraction(self) -> float:
+        return 1.0 - float(self.passed.mean())
+
+    def boundary_is_vertical(self, tolerance_steps: int = 1) -> bool:
+        """True when the pass/fail boundary is (nearly) voltage
+        independent -- the signature of a pure-RC delay defect, the
+        paper's Chip-3."""
+        cols = []
+        for i in range(self.voltages.size):
+            idx = np.flatnonzero(self.passed[i, :])
+            if idx.size == 0:
+                return False
+            cols.append(int(idx[0]))
+        return max(cols) - min(cols) <= tolerance_steps
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def render(self, markers: dict[tuple[float, float], str] | None = None,
+               ) -> str:
+        """ASCII shmoo, voltage descending top-to-bottom.
+
+        Args:
+            markers: Optional ``(vdd, period) -> char`` overlays (e.g.
+                the paper's dashed reference lines).
+        """
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        for i in range(self.voltages.size - 1, -1, -1):
+            row_chars = []
+            for j in range(self.periods.size):
+                ch = PASS_MARK if self.passed[i, j] else FAIL_MARK
+                if markers:
+                    for (mv, mp), mch in markers.items():
+                        if (abs(self.voltages[i] - mv) < 1e-12
+                                and abs(self.periods[j] - mp) < 1e-15):
+                            ch = mch
+                row_chars.append(ch)
+            lines.append(f"{self.voltages[i]:5.2f}V |" + "".join(row_chars))
+        axis = "       +" + "-" * self.periods.size
+        lines.append(axis)
+        lo = self.periods[0] * 1e9
+        hi = self.periods[-1] * 1e9
+        lines.append(f"        {lo:.0f}ns .. {hi:.0f}ns (period)")
+        return "\n".join(lines)
+
+
+class ShmooRunner:
+    """Sweep the tester over a (Vdd, period) grid.
+
+    Args:
+        tester: The virtual ATE.
+        test: March test to apply at every point.
+    """
+
+    def __init__(self, tester: VirtualTester, test: MarchTest) -> None:
+        self.tester = tester
+        self.test = test
+
+    def run(self, sram: Sram, defects: list[Defect],
+            voltages: np.ndarray | list[float],
+            periods: np.ndarray | list[float],
+            title: str = "") -> ShmooPlot:
+        """Fill the shmoo grid (quick behavioural mode per point)."""
+        voltages = np.sort(np.asarray(voltages, dtype=float))
+        periods = np.sort(np.asarray(periods, dtype=float))
+        passed = np.zeros((voltages.size, periods.size), dtype=bool)
+        for i, vdd in enumerate(voltages):
+            for j, period in enumerate(periods):
+                condition = StressCondition("shmoo", float(vdd), float(period))
+                result = self.tester.test_device(sram, defects, self.test,
+                                                 condition, quick=True)
+                passed[i, j] = result.passed
+        return ShmooPlot(voltages, periods, passed, title)
+
+
+def default_voltage_axis(lo: float = 0.8, hi: float = 2.2,
+                         steps: int = 15) -> np.ndarray:
+    """The paper's shmoo voltage range (0.8 .. 2.2 V)."""
+    return np.linspace(lo, hi, steps)
+
+
+def default_period_axis(lo: float = 5e-9, hi: float = 120e-9,
+                        steps: int = 24) -> np.ndarray:
+    """Log-spaced period axis covering at-speed (5 ns) to slow (120 ns)."""
+    return np.logspace(np.log10(lo), np.log10(hi), steps)

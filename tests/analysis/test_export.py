@@ -1,0 +1,85 @@
+"""Tests for repro.analysis.export."""
+
+import csv
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.export import (
+    write_coverage_csv,
+    write_estimator_json,
+    write_plans_csv,
+    write_shmoo_csv,
+    write_venn_json,
+)
+from repro.core.flow import MemoryTestFlow
+from repro.core.testplan import TestPlan
+from repro.experiment.venn import PAPER_VENN
+from repro.ifa.flow import CoverageRecord
+from repro.memory.geometry import MemoryGeometry
+from repro.tester.shmoo import ShmooPlot
+
+
+@pytest.fixture(scope="module")
+def flow_result():
+    return MemoryTestFlow(MemoryGeometry(32, 4, 8), n_sites=500).run()
+
+
+class TestCoverageCsv:
+    def test_roundtrip(self, flow_result, tmp_path):
+        path = tmp_path / "cov.csv"
+        write_coverage_csv(flow_result.database.records, path)
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == len(flow_result.database.records)
+        first = rows[0]
+        assert first["kind"] in ("bridge", "open")
+        assert 0.0 <= float(first["coverage"]) <= 1.0
+
+
+class TestEstimatorJson:
+    def test_structure(self, flow_result, tmp_path):
+        path = tmp_path / "est.json"
+        write_estimator_json(flow_result.bridge_report, path)
+        payload = json.loads(path.read_text())
+        assert payload["kind"] == "bridge"
+        assert payload["geometry"]["bits"] == 32 * 4 * 8
+        names = {c["condition"] for c in payload["conditions"]}
+        assert "VLV" in names and "Vmax" in names
+
+
+class TestShmooCsv:
+    def test_long_format(self, tmp_path):
+        plot = ShmooPlot(np.array([1.0, 1.8]), np.array([1e-8, 1e-7]),
+                         np.array([[True, False], [True, True]]))
+        path = tmp_path / "shmoo.csv"
+        write_shmoo_csv(plot, path)
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 4
+        assert {r["passed"] for r in rows} == {"0", "1"}
+
+
+class TestVennJson:
+    def test_regions(self, tmp_path):
+        path = tmp_path / "venn.json"
+        write_venn_json(PAPER_VENN, path, n_devices=11000)
+        payload = json.loads(path.read_text())
+        assert payload["regions"]["VLV only"] == 27
+        assert payload["total"] == 36
+        assert payload["n_devices"] == 11000
+
+
+class TestPlansCsv:
+    def test_rows(self, tmp_path):
+        plans = [
+            TestPlan(("VLV",), 0.01, 0.97, 50.0),
+            TestPlan(("VLV", "Vmax"), 0.02, 0.99, 10.0),
+        ]
+        path = tmp_path / "plans.csv"
+        write_plans_csv(plans, path)
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert rows[1]["conditions"] == "VLV+Vmax"
+        assert float(rows[0]["dpm"]) == 50.0

@@ -1,0 +1,91 @@
+"""Tests for repro.analysis (table/figure renderers)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import (
+    render_frequency_curve,
+    render_venn_comparison,
+    render_waveforms,
+)
+from repro.analysis.tables import (
+    PAPER_TABLE1,
+    render_coverage_matrix,
+    render_table1,
+)
+from repro.circuit.waveform import Waveform
+from repro.core.flow import MemoryTestFlow
+from repro.experiment.venn import PAPER_VENN, VennCounts
+from repro.faults.coverage import coverage_matrix
+from repro.march.library import MATS, MATS_PLUS_PLUS
+from repro.memory.geometry import MemoryGeometry
+
+
+@pytest.fixture(scope="module")
+def bridge_report():
+    return MemoryTestFlow(MemoryGeometry(64, 4, 8),
+                          n_sites=1500).run().bridge_report
+
+
+class TestTable1Rendering:
+    def test_contains_all_conditions(self, bridge_report):
+        text = render_table1(bridge_report)
+        for cond in ("VLV", "Vmin", "Vnom", "Vmax"):
+            assert cond in text
+
+    def test_paper_comparison_values_present(self, bridge_report):
+        text = render_table1(bridge_report, compare_paper=True)
+        assert "(99.61)" in text    # paper VLV @ 20 ohm
+        assert "( 1.22)" in text    # paper Vmax @ 90 kohm
+
+    def test_no_comparison_mode(self, bridge_report):
+        text = render_table1(bridge_report, compare_paper=False)
+        assert "(99.61)" not in text
+
+    def test_paper_table_integrity(self):
+        assert PAPER_TABLE1["Vmax"]["fault_coverage"][90e3] == 1.22
+        assert PAPER_TABLE1["VLV"]["dpm_normalised"] == 1.0
+
+
+class TestCoverageMatrixRendering:
+    def test_matrix_renders(self):
+        m = coverage_matrix([MATS, MATS_PLUS_PLUS], ["SAF", "TF"], n_cells=6)
+        text = render_coverage_matrix(m)
+        assert "MATS" in text and "TF" in text
+        assert "100.0" in text
+
+    def test_empty(self):
+        assert "empty" in render_coverage_matrix({})
+
+
+class TestFigureRendering:
+    def test_frequency_curve(self):
+        text = render_frequency_curve(
+            [50e6, 100e6], [4e6, 1.5e6])
+        assert "50MHz" in text
+        assert "4.00 Mohm" in text
+        assert "#" in text
+
+    def test_frequency_curve_escape_label(self):
+        text = render_frequency_curve([10e6], [0.0])
+        assert "all escape" in text
+
+    def test_frequency_curve_validation(self):
+        with pytest.raises(ValueError):
+            render_frequency_curve([1.0], [1.0, 2.0])
+
+    def test_waveform_strip(self):
+        t = np.linspace(0, 1e-8, 50)
+        waves = {
+            "wl0": Waveform("wl0", t, np.where(t > 5e-9, 1.8, 0.0)),
+            "q1": Waveform("q1", t, np.full_like(t, 0.9)),
+        }
+        text = render_waveforms(waves, vdd=1.8)
+        assert "wl0" in text and "q1" in text
+        assert "#" in text and "." in text and "-" in text
+
+    def test_venn_comparison(self):
+        sim = VennCounts(vlv_only=20, vmax_only=5, atspeed_only=2)
+        text = render_venn_comparison(sim, PAPER_VENN)
+        assert "VLV only" in text
+        assert "27" in text and "20" in text

@@ -1,0 +1,117 @@
+"""Tests for repro.circuit.netlist."""
+
+import pytest
+
+from repro.circuit.devices import Mosfet, MosType, Resistor, VoltageSource
+from repro.circuit.netlist import GROUND, Netlist
+from repro.circuit.technology import CMOS018
+
+
+def simple_netlist():
+    nl = Netlist("t")
+    nl.add(VoltageSource("V1", "a", GROUND, 1.0))
+    nl.add(Resistor("R1", "a", "b", 1e3))
+    nl.add(Resistor("R2", "b", GROUND, 1e3))
+    return nl
+
+
+class TestConstruction:
+    def test_add_and_lookup(self):
+        nl = simple_netlist()
+        assert len(nl) == 3
+        assert "R1" in nl
+        assert nl["R1"].resistance == 1e3
+
+    def test_duplicate_name_rejected(self):
+        nl = simple_netlist()
+        with pytest.raises(ValueError, match="duplicate"):
+            nl.add(Resistor("R1", "x", "y", 1.0))
+
+    def test_remove(self):
+        nl = simple_netlist()
+        nl.remove("R2")
+        assert "R2" not in nl
+        with pytest.raises(KeyError):
+            nl.remove("R2")
+
+    def test_nodes_exclude_ground(self):
+        nl = simple_netlist()
+        assert set(nl.nodes) == {"a", "b"}
+
+    def test_devices_of_type(self):
+        nl = simple_netlist()
+        assert len(list(nl.devices_of_type(Resistor))) == 2
+        assert len(list(nl.devices_of_type(VoltageSource))) == 1
+
+    def test_connectivity(self):
+        adj = simple_netlist().connectivity()
+        assert set(adj["b"]) == {"R1", "R2"}
+
+
+class TestBridgeInjection:
+    def test_bridge_adds_resistor(self):
+        nl = simple_netlist()
+        faulty = nl.with_bridge("a", "b", 500.0)
+        assert "Rbridge" in faulty
+        assert faulty["Rbridge"].resistance == 500.0
+
+    def test_original_untouched(self):
+        """One-defect-at-a-time: the fault-free netlist is never mutated."""
+        nl = simple_netlist()
+        nl.with_bridge("a", "b", 500.0)
+        assert "Rbridge" not in nl
+        assert len(nl) == 3
+
+    def test_same_node_rejected(self):
+        with pytest.raises(ValueError):
+            simple_netlist().with_bridge("a", "a", 100.0)
+
+    def test_title_records_defect(self):
+        faulty = simple_netlist().with_bridge("a", "b", 500.0)
+        assert "bridge" in faulty.title
+
+
+class TestOpenInjection:
+    def test_open_splices_resistor(self):
+        nl = simple_netlist()
+        faulty = nl.with_open("R2", "node_a", 1e6)
+        assert "Ropen" in faulty
+        # The device's terminal was rewired to an internal node.
+        assert faulty["R2"].node_a != nl["R2"].node_a
+        # The open resistor connects the internal node to the original net.
+        ropen = faulty["Ropen"]
+        assert {ropen.node_a, ropen.node_b} >= {nl["R2"].node_a} or \
+            nl["R2"].node_a in (ropen.node_a, ropen.node_b)
+
+    def test_open_preserves_connectivity_through_resistance(self):
+        from repro.circuit.solver import dc_operating_point
+
+        nl = simple_netlist()
+        faulty = nl.with_open("R2", "node_a", 1e3)
+        op = dc_operating_point(faulty)
+        # Divider now 1k / (1k + 1k) extra: b = 1.0 * 2k/3k
+        assert op["b"] == pytest.approx(2.0 / 3.0, rel=1e-3)
+
+    def test_unknown_terminal_rejected(self):
+        with pytest.raises(ValueError, match="no terminal"):
+            simple_netlist().with_open("R2", "gate", 1e3)
+
+    def test_mosfet_terminal_open(self):
+        nl = Netlist()
+        nl.add(Mosfet("M1", MosType.NMOS, "d", "g", "s", 1.0, CMOS018))
+        faulty = nl.with_open("M1", "gate", 1e6)
+        assert faulty["M1"].gate.startswith("_open")
+
+    def test_original_untouched_by_open(self):
+        nl = simple_netlist()
+        before = nl["R2"].node_a
+        nl.with_open("R2", "node_a", 1e6)
+        assert nl["R2"].node_a == before
+
+
+class TestCopy:
+    def test_copy_is_shallow_but_independent(self):
+        nl = simple_netlist()
+        clone = nl.copy()
+        clone.remove("R1")
+        assert "R1" in nl

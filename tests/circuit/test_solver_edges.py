@@ -1,0 +1,110 @@
+"""Edge-case tests for the MNA solver: failure modes and conditioning."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.devices import (
+    Capacitor,
+    CurrentSource,
+    Mosfet,
+    MosType,
+    Resistor,
+    VoltageSource,
+)
+from repro.circuit.netlist import Netlist
+from repro.circuit.solver import ConvergenceError, dc_operating_point, transient
+from repro.circuit.technology import CMOS018
+
+
+class TestDegenerateCircuits:
+    def test_floating_node_held_by_gmin(self):
+        """A node with only a capacitor to ground has no DC path; GMIN
+        keeps the matrix solvable and parks it at zero."""
+        nl = Netlist()
+        nl.add(VoltageSource("V", "a", "0", 1.0))
+        nl.add(Resistor("R", "a", "b", 1e3))
+        nl.add(Capacitor("C", "c", "0", 1e-12))   # floating node c
+        op = dc_operating_point(nl)
+        assert op["c"] == pytest.approx(0.0, abs=1e-6)
+
+    def test_current_source_into_floating_cap(self):
+        """A current source with no DC return path lands on the GMIN
+        conductance: the solution is finite (I/gmin), not an exception --
+        mirroring SPICE behaviour."""
+        nl = Netlist()
+        nl.add(CurrentSource("I", "0", "x", 1e-9))
+        nl.add(Capacitor("C", "x", "0", 1e-12))
+        op = dc_operating_point(nl)
+        assert np.isfinite(op["x"])
+
+    def test_two_supplies_fighting_through_resistors(self):
+        nl = Netlist()
+        nl.add(VoltageSource("V1", "a", "0", 1.0))
+        nl.add(VoltageSource("V2", "b", "0", 2.0))
+        nl.add(Resistor("R1", "a", "m", 1e3))
+        nl.add(Resistor("R2", "b", "m", 1e3))
+        op = dc_operating_point(nl)
+        assert op["m"] == pytest.approx(1.5, rel=1e-6)
+
+    def test_mosfet_diode_connected(self):
+        """Diode-connected NMOS pulled high settles near VT above
+        source."""
+        nl = Netlist()
+        nl.add(VoltageSource("V", "top", "0", 1.8))
+        nl.add(Resistor("R", "top", "d", 1e5))
+        nl.add(Mosfet("M", MosType.NMOS, "d", "d", "0", 1.0, CMOS018))
+        op = dc_operating_point(nl)
+        assert CMOS018.vth_n - 0.1 < op["d"] < 1.2
+
+
+class TestTransientEdges:
+    def test_zero_length_rejected(self):
+        nl = Netlist()
+        nl.add(Resistor("R", "a", "0", 1e3))
+        with pytest.raises(ValueError):
+            transient(nl, t_stop=-1.0, dt=1e-12)
+
+    def test_record_subset(self):
+        nl = Netlist()
+        nl.add(VoltageSource("V", "a", "0", 1.0))
+        nl.add(Resistor("R", "a", "b", 1e3))
+        nl.add(Capacitor("C", "b", "0", 1e-12))
+        waves = transient(nl, t_stop=1e-9, dt=1e-11, record=["b"])
+        assert set(waves) == {"b"}
+
+    def test_substepping_survives_sharp_edges(self):
+        """A near-instant source edge through a tiny RC must not crash
+        the integrator (the recursive halving path)."""
+        from repro.circuit.waveform import pulse
+
+        nl = Netlist()
+        nl.add(VoltageSource("V", "a", "0", 0.0,
+                             waveform=pulse(0.0, 1.8, 1e-10, 5e-10,
+                                            t_edge=1e-13)))
+        nl.add(Resistor("R", "a", "b", 10.0))
+        nl.add(Capacitor("C", "b", "0", 1e-15))
+        waves = transient(nl, t_stop=1e-9, dt=5e-11, record=["b"])
+        assert waves["b"].max() > 1.5
+
+
+class TestConditioning:
+    def test_wide_resistance_range(self):
+        """Nine decades of resistance in one divider still solve
+        accurately."""
+        nl = Netlist()
+        nl.add(VoltageSource("V", "in", "0", 1.0))
+        nl.add(Resistor("R1", "in", "m", 1.0))
+        nl.add(Resistor("R2", "m", "0", 1e9))
+        op = dc_operating_point(nl)
+        assert op["m"] == pytest.approx(1.0, rel=1e-3)
+
+    def test_many_parallel_devices(self):
+        nl = Netlist()
+        nl.add(VoltageSource("Vdd", "vdd", "0", 1.8))
+        nl.add(VoltageSource("Vin", "in", "0", 1.8))
+        for i in range(20):
+            nl.add(Mosfet(f"M{i}", MosType.NMOS, "out", "in", "0",
+                          1.0, CMOS018))
+        nl.add(Resistor("RL", "vdd", "out", 1e4))
+        op = dc_operating_point(nl)
+        assert op["out"] < 0.05

@@ -1,0 +1,116 @@
+"""Tests for repro.core.database."""
+
+import pytest
+
+from repro.core.database import CoverageDatabase
+from repro.defects.distribution import default_bridge_distribution
+from repro.ifa.flow import CoverageRecord
+
+
+def rec(kind, r, cond, detected, total=100):
+    return CoverageRecord(kind, r, cond, 1.8, 1e-7, detected, total)
+
+
+@pytest.fixture
+def db():
+    return CoverageDatabase([
+        rec("bridge", 1e2, "VLV", 100),
+        rec("bridge", 1e4, "VLV", 90),
+        rec("bridge", 1e6, "VLV", 50),
+        rec("bridge", 1e2, "Vmax", 95),
+        rec("bridge", 1e4, "Vmax", 40),
+        rec("bridge", 1e6, "Vmax", 1),
+    ])
+
+
+class TestQueries:
+    def test_exact_points(self, db):
+        assert db.coverage("bridge", "VLV", 1e4) == pytest.approx(0.90)
+
+    def test_log_interpolation_midpoint(self, db):
+        # Geometric mean of 1e2 and 1e4 -> arithmetic mean of coverages.
+        assert db.coverage("bridge", "VLV", 1e3) == pytest.approx(0.95)
+
+    def test_clamped_below_and_above(self, db):
+        assert db.coverage("bridge", "VLV", 1.0) == pytest.approx(1.00)
+        assert db.coverage("bridge", "VLV", 1e9) == pytest.approx(0.50)
+
+    def test_unknown_key(self, db):
+        with pytest.raises(KeyError, match="available"):
+            db.coverage("open", "VLV", 1e3)
+        with pytest.raises(KeyError):
+            db.coverage("bridge", "Vmin", 1e3)
+
+    def test_conditions_and_resistances(self, db):
+        assert db.conditions("bridge") == ["VLV", "Vmax"]
+        assert db.resistances("bridge") == [1e2, 1e4, 1e6]
+
+    def test_len(self, db):
+        assert len(db) == 6
+
+
+class TestWeightedCoverage:
+    def test_bounds(self, db):
+        dist = default_bridge_distribution()
+        dc = db.weighted_coverage("bridge", "VLV", dist)
+        assert 0.0 <= dc <= 1.0
+
+    def test_ordering_follows_per_r_ordering(self, db):
+        """VLV dominates Vmax at every R, so weighted coverage too."""
+        dist = default_bridge_distribution()
+        assert (db.weighted_coverage("bridge", "VLV", dist)
+                > db.weighted_coverage("bridge", "Vmax", dist))
+
+    def test_constant_coverage_is_identity(self):
+        db = CoverageDatabase([
+            rec("bridge", 1e2, "X", 80),
+            rec("bridge", 1e6, "X", 80),
+        ])
+        dist = default_bridge_distribution()
+        assert db.weighted_coverage("bridge", "X", dist) == pytest.approx(
+            0.80, abs=1e-6)
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, db, tmp_path):
+        path = tmp_path / "coverage.json"
+        db.save(path)
+        loaded = CoverageDatabase.load(path)
+        assert len(loaded) == len(db)
+        assert loaded.coverage("bridge", "VLV", 1e4) == pytest.approx(
+            db.coverage("bridge", "VLV", 1e4))
+
+    def test_loaded_records_equal(self, db, tmp_path):
+        path = tmp_path / "coverage.json"
+        db.save(path)
+        loaded = CoverageDatabase.load(path)
+        assert loaded.records == db.records
+
+
+class TestIncrementalAdd:
+    def test_add_rebuilds_index(self, db):
+        db.add_records([rec("open", 1e5, "Vmax", 60)])
+        assert db.coverage("open", "Vmax", 1e5) == pytest.approx(0.60)
+
+    def test_duplicate_resistance_last_wins(self):
+        db = CoverageDatabase([
+            rec("bridge", 1e3, "X", 10),
+            rec("bridge", 1e3, "X", 90),
+        ])
+        assert db.coverage("bridge", "X", 1e3) == pytest.approx(0.90)
+
+
+class TestEnvelope:
+    def test_envelope_dominates_every_condition(self, db):
+        from repro.defects.distribution import default_bridge_distribution
+
+        dist = default_bridge_distribution()
+        env = db.envelope_coverage("bridge", dist)
+        for cond in db.conditions("bridge"):
+            assert env >= db.weighted_coverage("bridge", cond, dist) - 1e-9
+
+    def test_envelope_unknown_kind(self, db):
+        from repro.defects.distribution import default_bridge_distribution
+
+        with pytest.raises(KeyError):
+            db.envelope_coverage("open", default_bridge_distribution())

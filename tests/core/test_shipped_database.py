@@ -1,0 +1,54 @@
+"""Tests for the shipped pre-calculated coverage database."""
+
+import pytest
+
+from repro.core.database import load_default_database
+from repro.core.estimator import FaultCoverageEstimator
+from repro.memory.geometry import VEQTOR4_INSTANCE
+
+
+@pytest.fixture(scope="module")
+def db():
+    return load_default_database()
+
+
+class TestShippedDatabase:
+    def test_loads_and_is_populated(self, db):
+        assert len(db) > 100
+
+    def test_covers_both_kinds_and_all_conditions(self, db):
+        expected = {"VLV", "Vmin", "Vnom", "Vmax", "at-speed"}
+        assert set(db.conditions("bridge")) == expected
+        assert set(db.conditions("open")) == expected
+
+    def test_includes_table1_grid(self, db):
+        rs = set(db.resistances("bridge"))
+        assert {20.0, 1e3, 10e3, 90e3} <= rs
+
+    def test_dense_grid(self, db):
+        """The shipped DB carries a much denser R grid than Table 1, so
+        interpolation error is small."""
+        assert len(db.resistances("bridge")) >= 20
+        assert len(db.resistances("open")) >= 12
+
+    def test_estimator_without_campaign(self, db):
+        """The paper's deployment story: geometry in, DPM out, no IFA."""
+        estimator = FaultCoverageEstimator(db)
+        report = estimator.estimate(VEQTOR4_INSTANCE, "bridge")
+        assert report.best_condition().condition == "VLV"
+        assert 3.0 < report.dpm_ratio("Vmax", "VLV") < 20.0
+
+    def test_table1_pattern_in_shipped_data(self, db):
+        assert db.coverage("bridge", "VLV", 90e3) > 0.8
+        assert db.coverage("bridge", "Vmax", 90e3) < 0.05
+
+
+class TestReportModule:
+    def test_full_report_small(self):
+        from repro.analysis.report import full_report
+
+        text = full_report(n_sites=300, n_devices=400)
+        assert "Table 1" in text
+        assert "Figure 8" in text
+        assert "Venn" in text
+        assert "DPM ratio" in text

@@ -1,0 +1,92 @@
+"""Tests for repro.core.williams_brown (paper equations (1) and (2))."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.williams_brown import (
+    defect_level,
+    dpm,
+    poisson_yield,
+    required_coverage,
+)
+
+
+class TestPoissonYield:
+    def test_zero_area_full_yield(self):
+        assert poisson_yield(0.0, 1.0) == 1.0
+
+    def test_formula(self):
+        assert poisson_yield(5e7, 2.0) == pytest.approx(math.exp(-1.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            poisson_yield(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            poisson_yield(1.0, -1.0)
+
+    @given(st.floats(min_value=0.0, max_value=1e9),
+           st.floats(min_value=0.0, max_value=10.0))
+    def test_bounds(self, area, d0):
+        y = poisson_yield(area, d0)
+        assert 0.0 < y <= 1.0
+
+
+class TestDefectLevel:
+    def test_perfect_coverage_no_escapes(self):
+        assert defect_level(0.9, 1.0) == pytest.approx(0.0)
+
+    def test_zero_coverage_ships_all_defects(self):
+        assert defect_level(0.9, 0.0) == pytest.approx(0.1)
+
+    def test_paper_shape_vlv_vs_vmax(self):
+        """DC 98.92% vs 89.76% at equal yield: ~9x DPM apart (paper)."""
+        y = 0.998
+        ratio = defect_level(y, 0.8976) / defect_level(y, 0.9892)
+        assert ratio == pytest.approx(9.5, abs=1.0)
+
+    @given(st.floats(min_value=0.01, max_value=0.999),
+           st.floats(min_value=0.0, max_value=0.98),
+           st.floats(min_value=0.001, max_value=0.02))
+    def test_monotone_decreasing_in_coverage(self, y, dc, step):
+        assert defect_level(y, dc + step) <= defect_level(y, dc)
+
+    @given(st.floats(min_value=0.01, max_value=0.99),
+           st.floats(min_value=0.0, max_value=1.0))
+    def test_bounds(self, y, dc):
+        dl = defect_level(y, dc)
+        assert 0.0 <= dl <= 1.0 - y + 1e-12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            defect_level(0.0, 0.5)
+        with pytest.raises(ValueError):
+            defect_level(1.1, 0.5)
+        with pytest.raises(ValueError):
+            defect_level(0.9, 1.5)
+
+    def test_dpm_scaling(self):
+        assert dpm(0.9, 0.0) == pytest.approx(1e5)
+
+
+class TestRequiredCoverage:
+    def test_roundtrip(self):
+        y = 0.95
+        dc = required_coverage(y, target_dpm=10.0)
+        assert dpm(y, dc) == pytest.approx(10.0, rel=1e-6)
+
+    def test_lenient_target_needs_no_coverage(self):
+        # Yield loss itself is below the target.
+        assert required_coverage(0.9999999, target_dpm=1000.0) == 0.0
+
+    def test_automotive_target_needs_high_coverage(self):
+        dc = required_coverage(0.998, target_dpm=10.0)
+        assert dc > 0.99
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            required_coverage(1.0, 10.0)
+        with pytest.raises(ValueError):
+            required_coverage(0.9, 0.0)

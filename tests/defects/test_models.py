@@ -1,0 +1,73 @@
+"""Tests for repro.defects.models."""
+
+import pytest
+
+from repro.defects.models import (
+    BridgeSite,
+    Defect,
+    DefectKind,
+    OpenSite,
+    bridge,
+    open_defect,
+)
+
+
+class TestDefectValidation:
+    def test_bridge_constructor(self):
+        d = bridge(BridgeSite.CELL_NODE_RAIL, 1e3, cell=5, polarity=1)
+        assert d.kind is DefectKind.BRIDGE
+        assert d.resistance == 1e3
+        assert d.cell == 5
+
+    def test_open_constructor(self):
+        d = open_defect(OpenSite.DECODER_INPUT, 1e6)
+        assert d.kind is DefectKind.OPEN
+
+    def test_kind_site_mismatch_rejected(self):
+        with pytest.raises(TypeError):
+            Defect(DefectKind.BRIDGE, OpenSite.CELL_ACCESS, 1e3)
+        with pytest.raises(TypeError):
+            Defect(DefectKind.OPEN, BridgeSite.CELL_NODE_RAIL, 1e3)
+
+    def test_non_positive_resistance_rejected(self):
+        with pytest.raises(ValueError):
+            bridge(BridgeSite.CELL_NODE_RAIL, 0.0)
+
+    def test_bad_strength_rejected(self):
+        with pytest.raises(ValueError):
+            bridge(BridgeSite.CELL_NODE_RAIL, 1e3, strength=0.0)
+
+    def test_bad_polarity_rejected(self):
+        with pytest.raises(ValueError):
+            bridge(BridgeSite.CELL_NODE_RAIL, 1e3, polarity=0)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            bridge(BridgeSite.CELL_NODE_RAIL, 1e3, weight=-1.0)
+
+
+class TestWithResistance:
+    def test_copy_semantics(self):
+        d = bridge(BridgeSite.CELL_NODE_NODE, 1e3, strength=2.0, cell=7)
+        d2 = d.with_resistance(5e4)
+        assert d2.resistance == 5e4
+        assert d2.strength == 2.0 and d2.cell == 7
+        assert d.resistance == 1e3  # original untouched
+
+    def test_str_contains_site_and_r(self):
+        d = open_defect(OpenSite.BITLINE_SEGMENT, 2e6)
+        assert "bitline_segment" in str(d)
+        assert "2,000,000" in str(d)
+
+
+class TestTaxonomy:
+    def test_bridge_sites_cover_paper_mechanisms(self):
+        names = {s.name for s in BridgeSite}
+        assert "CELL_NODE_RAIL" in names       # VLV divider class
+        assert "EQUIVALENT_NODE" in names      # never-detected floor
+
+    def test_open_sites_cover_paper_mechanisms(self):
+        names = {s.name for s in OpenSite}
+        assert "DECODER_INPUT" in names        # Figures 5/6, Chip-2
+        assert "BITLINE_SEGMENT" in names      # Figure 8 / Chip-3
+        assert "PERIPHERY_PATH" in names       # Chip-4

@@ -1,0 +1,121 @@
+"""Tests for repro.experiment.classify and repro.experiment.venn."""
+
+import pytest
+
+from repro.defects.models import BridgeSite, OpenSite, bridge, open_defect
+from repro.experiment.classify import (
+    DeviceRecord,
+    ExperimentResult,
+    StressClassifier,
+)
+from repro.experiment.population import PopulationGenerator, PopulationSpec
+from repro.experiment.veqtor import VeqtorChip
+from repro.experiment.venn import PAPER_VENN, VennCounts
+from repro.memory.geometry import MemoryGeometry
+
+
+def chip_with(defect):
+    chip = VeqtorChip(0)
+    chip.add_defect(0, defect)
+    return chip
+
+
+@pytest.fixture(scope="module")
+def classifier():
+    return StressClassifier(geometry=MemoryGeometry(8, 2, 4))
+
+
+class TestProtocol:
+    def test_clean_chip_not_recorded(self, classifier):
+        result = classifier.classify([VeqtorChip(0)])
+        assert result.records == []
+        assert result.n_devices == 1
+
+    def test_hard_fail_is_standard_yield_loss(self, classifier):
+        chip = chip_with(bridge(BridgeSite.CELL_NODE_RAIL, 20.0))
+        result = classifier.classify([chip])
+        assert result.n_standard_fails == 1
+        assert result.interesting_devices == []
+
+    def test_vlv_only_defect_is_interesting(self, classifier):
+        chip = chip_with(bridge(BridgeSite.CELL_NODE_RAIL, 150e3))
+        result = classifier.classify([chip])
+        interesting = result.interesting_devices
+        assert len(interesting) == 1
+        assert interesting[0].failed_stress == frozenset({"VLV"})
+
+    def test_vmax_only_defect(self, classifier):
+        chip = chip_with(open_defect(OpenSite.DECODER_INPUT, 5e5))
+        result = classifier.classify([chip])
+        assert result.interesting_devices[0].failed_stress == frozenset(
+            {"Vmax"})
+
+    def test_pullup_open_vlv_and_vmax(self, classifier):
+        chip = chip_with(open_defect(OpenSite.CELL_PULLUP, 10e6))
+        result = classifier.classify([chip])
+        assert result.interesting_devices[0].failed_stress == frozenset(
+            {"VLV", "Vmax"})
+
+    def test_escape_dpm(self, classifier):
+        chips = [chip_with(bridge(BridgeSite.CELL_NODE_RAIL, 150e3))
+                 for _ in range(3)]
+        chips += [VeqtorChip(i + 10) for i in range(7)]
+        result = classifier.classify(chips)
+        assert result.escape_dpm("VLV") == pytest.approx(3e5)
+        assert result.escape_dpm("Vmax") == 0.0
+
+
+class TestVennAccounting:
+    def test_from_experiment(self):
+        result = ExperimentResult(n_devices=10)
+        result.records = [
+            DeviceRecord(VeqtorChip(0), False, frozenset({"VLV"})),
+            DeviceRecord(VeqtorChip(1), False, frozenset({"VLV"})),
+            DeviceRecord(VeqtorChip(2), False, frozenset({"VLV", "Vmax"})),
+            DeviceRecord(VeqtorChip(3), False, frozenset({"at-speed"})),
+            DeviceRecord(VeqtorChip(4), True),   # standard fail: excluded
+        ]
+        venn = VennCounts.from_experiment(result)
+        assert venn.vlv_only == 2
+        assert venn.vlv_vmax == 1
+        assert venn.atspeed_only == 1
+        assert venn.total == 4
+
+    def test_totals(self):
+        v = VennCounts(vlv_only=27, vmax_only=3, atspeed_only=3,
+                       vlv_vmax=2, vlv_atspeed=1)
+        assert v.total == 36
+        assert v.vlv_total == 30
+        assert v.vmax_total == 5
+        assert v.atspeed_total == 4
+
+    def test_paper_figures(self):
+        assert PAPER_VENN.total == 36
+        assert PAPER_VENN.vlv_only == 27
+
+    def test_render(self):
+        text = PAPER_VENN.render("paper")
+        assert "VLV only: 27" in text
+        assert "interesting devices: 36" in text
+
+
+class TestEndToEndVennShape:
+    """The Figure 11 regression on a reduced lot (fast)."""
+
+    @pytest.fixture(scope="class")
+    def venn(self):
+        spec = PopulationSpec(n_devices=4000, seed=1105)
+        chips = PopulationGenerator(spec).generate()
+        result = StressClassifier().classify(chips)
+        return VennCounts.from_experiment(result)
+
+    def test_vlv_dominates(self, venn):
+        assert venn.vlv_only >= 3 * max(venn.vmax_only, 1) - 2
+        assert venn.vlv_only > venn.atspeed_only
+
+    def test_empty_regions_match_paper(self, venn):
+        assert venn.vmax_atspeed == 0
+        assert venn.all_three == 0
+
+    def test_some_interesting_devices_exist(self, venn):
+        assert venn.total > 0

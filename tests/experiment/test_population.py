@@ -1,0 +1,70 @@
+"""Tests for repro.experiment.population."""
+
+import numpy as np
+import pytest
+
+from repro.defects.distribution import DefectDensity
+from repro.defects.models import DefectKind
+from repro.experiment.population import PopulationGenerator, PopulationSpec
+
+
+@pytest.fixture(scope="module")
+def small_lot():
+    spec = PopulationSpec(n_devices=2000, seed=7)
+    return PopulationGenerator(spec), PopulationGenerator(spec).generate()
+
+
+class TestGeneration:
+    def test_lot_size(self, small_lot):
+        _, chips = small_lot
+        assert len(chips) == 2000
+        assert [c.chip_id for c in chips] == list(range(2000))
+
+    def test_deterministic_given_seed(self):
+        spec = PopulationSpec(n_devices=300, seed=11)
+        a = PopulationGenerator(spec).generate()
+        b = PopulationGenerator(spec).generate()
+        sig_a = [tuple(str(d) for d in c.all_defects) for c in a]
+        sig_b = [tuple(str(d) for d in c.all_defects) for c in b]
+        assert sig_a == sig_b
+
+    def test_different_seeds_differ(self):
+        a = PopulationGenerator(PopulationSpec(300, seed=1)).generate()
+        b = PopulationGenerator(PopulationSpec(300, seed=2)).generate()
+        na = sum(len(c.all_defects) for c in a)
+        nb = sum(len(c.all_defects) for c in b)
+        assert (na, [c.is_defective for c in a]) != (nb, [c.is_defective
+                                                          for c in b])
+
+    def test_defective_fraction_matches_poisson(self, small_lot):
+        gen, chips = small_lot
+        observed = sum(1 for c in chips if c.is_defective) / len(chips)
+        expected = gen.expected_defective_fraction()
+        assert observed == pytest.approx(expected, abs=0.02)
+
+    def test_bridge_open_mix(self, small_lot):
+        gen, chips = small_lot
+        defects = [d for c in chips for d in c.all_defects]
+        bridges = sum(d.kind is DefectKind.BRIDGE for d in defects)
+        assert bridges / len(defects) == pytest.approx(
+            gen.spec.density.bridge_fraction, abs=0.1)
+
+    def test_resistances_sampled_from_distribution(self, small_lot):
+        gen, chips = small_lot
+        defects = [d for c in chips for d in c.all_defects
+                   if d.kind is DefectKind.BRIDGE]
+        rs = np.array([d.resistance for d in defects])
+        # Bulk should be low-ohmic per the fab shape.
+        assert np.median(rs) < 1e3
+
+
+class TestSpec:
+    def test_defaults_reflect_qualification_lot(self):
+        spec = PopulationSpec()
+        assert spec.n_devices == 11000
+        assert spec.density.d0_per_cm2 > 1.0
+
+    def test_custom_density(self):
+        spec = PopulationSpec(100, DefectDensity(0.1, 0.5), seed=0)
+        gen = PopulationGenerator(spec)
+        assert gen.expected_defective_fraction() < 0.05

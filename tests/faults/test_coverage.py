@@ -1,0 +1,97 @@
+"""Tests for repro.faults.coverage (classical coverage results).
+
+These lock in the textbook march-test coverage table: which classical
+fault classes each published test detects completely.  Deviations here
+mean the fault models or the march library drifted.
+"""
+
+import pytest
+
+from repro.faults.coverage import (
+    FAULT_CLASS_GENERATORS,
+    class_coverage,
+    coverage_matrix,
+)
+from repro.march.library import (
+    MARCH_CM,
+    MARCH_SS,
+    MATS,
+    MATS_PLUS,
+    MATS_PLUS_PLUS,
+    TEST_11N,
+)
+
+
+class TestClassicalResults:
+    """Textbook coverage facts [van de Goor 98]."""
+
+    @pytest.mark.parametrize("fc", ["SAF", "TF", "AF", "CFin", "CFid",
+                                    "CFst"])
+    def test_march_cm_complete_on_static_classes(self, fc):
+        assert class_coverage(MARCH_CM, fc, 8).coverage == 1.0
+
+    def test_mats_covers_saf_only_half_tf(self):
+        assert class_coverage(MATS, "SAF", 8).coverage == 1.0
+        assert class_coverage(MATS, "TF", 8).coverage == 0.5
+
+    def test_matspp_adds_full_tf(self):
+        assert class_coverage(MATS_PLUS_PLUS, "TF", 8).coverage == 1.0
+
+    def test_mats_plus_covers_af(self):
+        assert class_coverage(MATS_PLUS, "AF", 8).coverage == 1.0
+
+    def test_march_cm_misses_drdf(self):
+        assert class_coverage(MARCH_CM, "DRDF", 8).coverage == 0.0
+
+    def test_march_ss_catches_drdf(self):
+        assert class_coverage(MARCH_SS, "DRDF", 8).coverage == 1.0
+
+    def test_march_ss_catches_wdf(self):
+        assert class_coverage(MARCH_SS, "WDF", 8).coverage == 1.0
+
+    def test_11n_covers_saf_tf_af(self):
+        for fc in ("SAF", "TF", "AF"):
+            assert class_coverage(TEST_11N, fc, 8).coverage == 1.0, fc
+
+    def test_11n_strictly_better_than_matspp_on_cfin(self):
+        c11 = class_coverage(TEST_11N, "CFin", 8).coverage
+        cmp_ = class_coverage(MATS_PLUS_PLUS, "CFin", 8).coverage
+        assert c11 > cmp_
+
+    def test_irf_caught_by_any_reading_test(self):
+        assert class_coverage(MATS_PLUS_PLUS, "IRF", 8).coverage == 1.0
+
+
+class TestGenerators:
+    def test_instance_counts(self):
+        n = 6
+        assert len(list(FAULT_CLASS_GENERATORS["SAF"](n))) == 2 * n
+        assert len(list(FAULT_CLASS_GENERATORS["TF"](n))) == 2 * n
+        assert len(list(FAULT_CLASS_GENERATORS["CFin"](n))) == 2 * n * (n - 1)
+        assert len(list(FAULT_CLASS_GENERATORS["CFid"](n))) == 4 * n * (n - 1)
+        assert len(list(FAULT_CLASS_GENERATORS["CFst"](n))) == 4 * n * (n - 1)
+        assert len(list(FAULT_CLASS_GENERATORS["AF"](n))) == 6 * n
+
+    def test_unknown_class_raises(self):
+        with pytest.raises(KeyError, match="available"):
+            class_coverage(MARCH_CM, "XYZ", 8)
+
+
+class TestCoverageMatrix:
+    def test_matrix_shape(self):
+        matrix = coverage_matrix([MATS, MARCH_CM], ["SAF", "TF"], n_cells=6)
+        assert set(matrix) == {"MATS", "March C-"}
+        assert set(matrix["MATS"]) == {"SAF", "TF"}
+
+    def test_matrix_values_match_single_calls(self):
+        matrix = coverage_matrix([MATS], ["TF"], n_cells=6)
+        single = class_coverage(MATS, "TF", 6)
+        assert matrix["MATS"]["TF"].coverage == single.coverage
+
+
+class TestCoverageResult:
+    def test_percent_and_str(self):
+        r = class_coverage(MATS, "SAF", 4)
+        assert r.percent == 100.0
+        assert "MATS" in str(r)
+        assert "SAF" in str(r)

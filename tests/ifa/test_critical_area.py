@@ -1,0 +1,85 @@
+"""Tests for repro.ifa.critical_area."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ifa.critical_area import (
+    find_adjacent_pairs,
+    open_weight,
+    short_weight,
+    total_short_weight,
+)
+from repro.ifa.layout import Rect
+
+
+class TestWeights:
+    def test_short_weight_formula(self):
+        # w = L / (2 s)
+        assert short_weight(0.5, 2.0) == pytest.approx(2.0)
+
+    def test_short_weight_zero_length(self):
+        assert short_weight(0.5, 0.0) == 0.0
+
+    def test_short_weight_invalid_spacing(self):
+        with pytest.raises(ValueError):
+            short_weight(0.0, 1.0)
+
+    @given(st.floats(min_value=0.1, max_value=2.0),
+           st.floats(min_value=0.1, max_value=10.0))
+    def test_closer_spacing_higher_weight(self, s, length):
+        assert short_weight(s / 2, length) > short_weight(s, length)
+
+    def test_open_weight_formula(self):
+        assert open_weight(0.25, 1.0) == pytest.approx(2.0)
+
+    def test_open_weight_invalid(self):
+        with pytest.raises(ValueError):
+            open_weight(0.0, 1.0)
+
+
+class TestAdjacency:
+    def test_horizontal_neighbours_found(self):
+        a = Rect("metal1", 0.0, 0.0, 1.0, 1.0, "A")
+        b = Rect("metal1", 1.3, 0.0, 2.3, 1.0, "B")
+        pairs = find_adjacent_pairs([a, b])
+        assert len(pairs) == 1
+        assert pairs[0].spacing == pytest.approx(0.3)
+        assert pairs[0].facing_length == pytest.approx(1.0)
+
+    def test_vertical_neighbours_found(self):
+        a = Rect("metal1", 0.0, 0.0, 2.0, 1.0, "A")
+        b = Rect("metal1", 0.0, 1.4, 2.0, 2.0, "B")
+        pairs = find_adjacent_pairs([a, b])
+        assert len(pairs) == 1
+        assert pairs[0].spacing == pytest.approx(0.4)
+        assert pairs[0].facing_length == pytest.approx(2.0)
+
+    def test_different_layers_ignored(self):
+        a = Rect("metal1", 0.0, 0.0, 1.0, 1.0, "A")
+        b = Rect("metal2", 1.2, 0.0, 2.2, 1.0, "B")
+        assert find_adjacent_pairs([a, b]) == []
+
+    def test_same_net_ignored(self):
+        a = Rect("metal1", 0.0, 0.0, 1.0, 1.0, "N")
+        b = Rect("metal1", 1.2, 0.0, 2.2, 1.0, "N")
+        assert find_adjacent_pairs([a, b]) == []
+
+    def test_far_apart_ignored(self):
+        a = Rect("metal1", 0.0, 0.0, 1.0, 1.0, "A")
+        b = Rect("metal1", 5.0, 0.0, 6.0, 1.0, "B")
+        assert find_adjacent_pairs([a, b], max_spacing=1.0) == []
+
+    def test_diagonal_no_overlap_ignored(self):
+        a = Rect("metal1", 0.0, 0.0, 1.0, 1.0, "A")
+        b = Rect("metal1", 1.2, 1.2, 2.2, 2.2, "B")
+        assert find_adjacent_pairs([a, b]) == []
+
+    def test_total_weight_accumulates(self):
+        a = Rect("metal1", 0.0, 0.0, 1.0, 1.0, "A")
+        b = Rect("metal1", 1.2, 0.0, 2.2, 1.0, "B")
+        c = Rect("metal1", 2.4, 0.0, 3.4, 1.0, "C")
+        pairs = find_adjacent_pairs([a, b, c])
+        assert len(pairs) == 2
+        assert total_short_weight(pairs) == pytest.approx(
+            2 * short_weight(0.2, 1.0))

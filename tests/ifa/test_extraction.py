@@ -1,0 +1,115 @@
+"""Tests for repro.ifa.extraction."""
+
+import numpy as np
+import pytest
+
+from repro.defects.models import BridgeSite, DefectKind, OpenSite
+from repro.ifa.critical_area import AdjacentPair
+from repro.ifa.extraction import (
+    BRIDGE_SITE_MIX,
+    OPEN_SITE_MIX,
+    STRENGTH_SIGMA,
+    IfaExtractor,
+    classify_bridge_pair,
+)
+from repro.ifa.layout import Rect
+from repro.memory.geometry import MemoryGeometry
+
+
+@pytest.fixture(scope="module")
+def extractor():
+    return IfaExtractor(MemoryGeometry(8, 2, 4))
+
+
+def pair(net_a, net_b):
+    a = Rect("metal1", 0.0, 0.0, 1.0, 1.0, net_a)
+    b = Rect("metal1", 1.2, 0.0, 2.2, 1.0, net_b)
+    return AdjacentPair(a, b, 0.2, 1.0)
+
+
+class TestClassification:
+    @pytest.mark.parametrize("nets,expected", [
+        (("cell[0,0].t", "vdd"), BridgeSite.CELL_NODE_RAIL),
+        (("cell[0,0].c", "gnd"), BridgeSite.CELL_NODE_RAIL),
+        (("cell[0,0].t", "cell[0,0].c"), BridgeSite.CELL_NODE_NODE),
+        (("cell[0,0].t", "cell[0,1].t"), BridgeSite.CELL_NODE_NODE),
+        (("wl[3]", "cell[3,1].t"), BridgeSite.WORDLINE_CELL),
+        (("bl[2]", "blb[2]"), BridgeSite.BITLINE_BITLINE),
+        (("dec.nand[0]", "dec.wldrv[0]"), BridgeSite.DECODER_LOGIC),
+        (("sa.in[1]", "sa.out[1]"), BridgeSite.PERIPHERY_METAL),
+        (("wl[0]", "vdd"), BridgeSite.PERIPHERY_METAL),
+    ])
+    def test_pair_classes(self, nets, expected):
+        assert classify_bridge_pair(pair(*nets)) == expected
+
+
+class TestMixes:
+    def test_bridge_mix_sums_to_one(self):
+        assert sum(BRIDGE_SITE_MIX.values()) == pytest.approx(1.0)
+
+    def test_open_mix_sums_to_one(self):
+        assert sum(OPEN_SITE_MIX.values()) == pytest.approx(1.0)
+
+    def test_rail_class_dominates(self):
+        assert BRIDGE_SITE_MIX[BridgeSite.CELL_NODE_RAIL] > 0.5
+
+    def test_every_class_has_strength_sigma(self):
+        for site in list(BridgeSite) + list(OpenSite):
+            assert site in STRENGTH_SIGMA
+
+    def test_calibrated_classes_match_mix(self, extractor):
+        classes = extractor.bridge_site_classes()
+        weights = {c.site: c.weight for c in classes}
+        assert weights == BRIDGE_SITE_MIX
+
+    def test_raw_mode_uses_geometry(self):
+        raw = IfaExtractor(MemoryGeometry(8, 2, 4), calibrated=False)
+        classes = raw.bridge_site_classes()
+        total = sum(c.weight for c in classes)
+        assert total == pytest.approx(1.0)
+        # Geometry independently ranks the rail class on top.
+        by_weight = sorted(classes, key=lambda c: c.weight, reverse=True)
+        assert by_weight[0].site in (BridgeSite.CELL_NODE_RAIL,
+                                     BridgeSite.WORDLINE_CELL)
+
+    def test_geometric_instances_found(self, extractor):
+        classes = {c.site: c for c in extractor.bridge_site_classes()}
+        assert classes[BridgeSite.CELL_NODE_RAIL].pair_count > 0
+        assert classes[BridgeSite.BITLINE_BITLINE].pair_count > 0
+
+
+class TestSampling:
+    def test_sample_bridges_fields(self, extractor):
+        rng = np.random.default_rng(0)
+        defects = extractor.sample_bridges(200, rng)
+        assert len(defects) == 200
+        assert all(d.kind is DefectKind.BRIDGE for d in defects)
+        assert all(0 <= d.cell < extractor.geometry.bits for d in defects)
+        assert all(d.strength > 0 for d in defects)
+
+    def test_sample_respects_mix(self, extractor):
+        rng = np.random.default_rng(1)
+        defects = extractor.sample_bridges(6000, rng)
+        rail = sum(d.site is BridgeSite.CELL_NODE_RAIL for d in defects)
+        assert rail / 6000 == pytest.approx(
+            BRIDGE_SITE_MIX[BridgeSite.CELL_NODE_RAIL], abs=0.03)
+
+    def test_sample_opens(self, extractor):
+        rng = np.random.default_rng(2)
+        defects = extractor.sample_opens(100, rng)
+        assert all(d.kind is DefectKind.OPEN for d in defects)
+
+    def test_resistance_sampler_used(self, extractor):
+        rng = np.random.default_rng(3)
+        defects = extractor.sample_bridges(
+            10, rng, resistance_sampler=lambda r: 123.0)
+        assert all(d.resistance == 123.0 for d in defects)
+
+    def test_deterministic_given_seed(self, extractor):
+        a = extractor.sample_bridges(20, np.random.default_rng(9))
+        b = extractor.sample_bridges(20, np.random.default_rng(9))
+        assert a == b
+
+    def test_invalid_count(self, extractor):
+        with pytest.raises(ValueError):
+            extractor.sample_bridges(0, np.random.default_rng(0))

@@ -1,0 +1,78 @@
+"""Tests for repro.march.validation."""
+
+import pytest
+
+from repro.march.element import AddressOrder, MarchElement
+from repro.march.library import MARCH_CM, MATS
+from repro.march.ops import R0, R1, W0, W1
+from repro.march.test import MarchTest
+from repro.march.validation import Severity, assert_valid, is_valid, validate
+
+
+def make(notation):
+    return MarchTest.parse("t", notation)
+
+
+class TestErrors:
+    def test_clean_test_no_errors(self):
+        assert validate(MARCH_CM) == [
+            i for i in validate(MARCH_CM) if i.severity is Severity.WARNING
+        ]
+        assert is_valid(MARCH_CM)
+
+    def test_uninitialised_read(self):
+        issues = validate(make("^(r0,w1)"))
+        assert any(i.code == "uninitialised-read" for i in issues)
+        assert not is_valid(make("^(r0,w1)"))
+
+    def test_entry_state_mismatch(self):
+        t = make("*(w0); ^(r1,w0)")
+        codes = [i.code for i in validate(t)]
+        assert "entry-state-mismatch" in codes
+
+    def test_element_inconsistent(self):
+        t = make("*(w0); ^(r0,w1,r0)")
+        codes = [i.code for i in validate(t)]
+        assert "element-inconsistent" in codes
+
+    def test_no_reads(self):
+        t = make("*(w0); ^(w1)")
+        codes = [i.code for i in validate(t)]
+        assert "no-reads" in codes
+        assert not is_valid(t)
+
+    def test_assert_valid_raises_with_details(self):
+        with pytest.raises(ValueError, match="uninitialised-read"):
+            assert_valid(make("^(r0)"))
+
+    def test_assert_valid_passes_clean(self):
+        assert_valid(MARCH_CM)
+
+
+class TestWarnings:
+    def test_single_polarity_reads(self):
+        t = make("*(w0); ^(r0)")
+        codes = [i.code for i in validate(t)]
+        assert "no-read1" in codes
+        # Warnings do not invalidate.
+        assert is_valid(t)
+
+    def test_single_direction(self):
+        t = make("*(w0); ^(r0,w1); ^(r1)")
+        codes = [i.code for i in validate(t)]
+        assert "single-direction" in codes
+
+    def test_weak_transitions(self):
+        codes = [i.code for i in validate(MATS)]
+        assert "weak-transitions" in codes
+
+    def test_march_cm_warning_free(self):
+        assert validate(MARCH_CM) == []
+
+
+class TestIssueRendering:
+    def test_str_contains_code_and_severity(self):
+        issue = validate(make("^(r0)"))[0]
+        text = str(issue)
+        assert "error" in text
+        assert issue.code in text

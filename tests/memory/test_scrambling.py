@@ -1,0 +1,145 @@
+"""Tests for repro.memory.scrambling."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.geometry import MemoryGeometry
+from repro.memory.scrambling import (
+    AddressScrambler,
+    DataScrambler,
+    ScrambledView,
+)
+
+
+class TestAddressScrambler:
+    def test_identity_default(self):
+        s = AddressScrambler(4)
+        assert all(s.scramble(a) == a for a in range(16))
+
+    def test_xor_mask(self):
+        s = AddressScrambler(4, xor_mask=0b0101)
+        assert s.scramble(0) == 0b0101
+
+    def test_permutation_applied(self):
+        # physical bit 0 takes logical bit 3.
+        s = AddressScrambler(4, permutation=(3, 1, 2, 0))
+        assert s.scramble(0b1000) == 0b0001
+
+    @given(st.integers(min_value=2, max_value=10), st.randoms())
+    @settings(max_examples=40)
+    def test_roundtrip_random_scramblers(self, bits, rnd):
+        perm = list(range(bits))
+        rnd.shuffle(perm)
+        mask = rnd.randrange(1 << bits)
+        s = AddressScrambler(bits, tuple(perm), mask)
+        for logical in range(min(1 << bits, 64)):
+            assert s.descramble(s.scramble(logical)) == logical
+
+    def test_bijection(self):
+        s = AddressScrambler.typical(6)
+        image = {s.scramble(a) for a in range(64)}
+        assert image == set(range(64))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AddressScrambler(4, permutation=(0, 0, 1, 2))
+        with pytest.raises(ValueError):
+            AddressScrambler(4, xor_mask=16)
+        with pytest.raises(ValueError):
+            AddressScrambler(4).scramble(16)
+
+    def test_typical_is_nontrivial(self):
+        s = AddressScrambler.typical(6)
+        assert any(s.scramble(a) != a for a in range(64))
+
+    def test_typical_small_width_is_identity(self):
+        s = AddressScrambler.typical(2)
+        assert all(s.scramble(a) == a for a in range(4))
+
+
+class TestDataScrambler:
+    def test_involution(self):
+        d = DataScrambler.alternating(8)
+        for word in (0, 0xFF, 0xA5, 0x3C):
+            assert d.to_logical(d.to_physical(word)) == word
+
+    def test_alternating_mask(self):
+        d = DataScrambler.alternating(4)
+        assert d.inversion_mask == 0b1010
+
+    def test_solid_logical_is_striped_physical(self):
+        """The scramble-awareness point: logical all-ones is a physical
+        stripe pattern."""
+        d = DataScrambler.alternating(4)
+        assert d.to_physical(0b1111) == 0b0101
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DataScrambler(0)
+        with pytest.raises(ValueError):
+            DataScrambler(4, inversion_mask=16)
+        with pytest.raises(ValueError):
+            DataScrambler(4).to_physical(16)
+
+
+class TestScrambledView:
+    @pytest.fixture
+    def view(self):
+        geometry = MemoryGeometry(8, 2, 4)
+        return ScrambledView(
+            geometry,
+            AddressScrambler.typical(geometry.address_bits),
+            DataScrambler.alternating(geometry.bits_per_word),
+        )
+
+    def test_physical_cell_in_range(self, view):
+        for addr in range(view.geometry.words):
+            for bit in range(view.geometry.bits_per_word):
+                cell = view.physical_cell(addr, bit)
+                assert 0 <= cell < view.geometry.bits
+
+    def test_access_mapping_injective(self, view):
+        seen = set()
+        for addr in range(view.geometry.words):
+            for bit in range(view.geometry.bits_per_word):
+                seen.add(view.physical_cell(addr, bit))
+        assert len(seen) == view.geometry.bits
+
+    def test_stored_value_respects_inversion(self, view):
+        # Bit 1 is inverted by the alternating scrambler.
+        assert view.stored_value(0, 1, 1) == 0
+        assert view.stored_value(0, 0, 1) == 1
+
+    def test_neighbours_are_descrambled(self, view):
+        """Physical neighbours map back through the inverse scramble."""
+        for logical, bit in ((0, 0), (5, 2), (11, 3)):
+            for n_addr, n_bit in view.logical_neighbours(logical, bit):
+                assert 0 <= n_addr < view.geometry.words
+                # Physical adjacency must hold after re-scrambling.
+                phys_a = view.address.scramble(logical) % view.geometry.words
+                phys_b = view.address.scramble(n_addr) % view.geometry.words
+                neighbours = view.geometry.neighbours(phys_a, bit)
+                assert (phys_b, n_bit) in neighbours
+
+    def test_logical_neighbours_differ_from_logical_adjacency(self, view):
+        """With scrambling on, at least one access has physical
+        neighbours that are not logical-address neighbours."""
+        surprises = 0
+        for addr in range(view.geometry.words):
+            for n_addr, _ in view.logical_neighbours(addr, 0):
+                if abs(n_addr - addr) > 1:
+                    surprises += 1
+        assert surprises > 0
+
+    def test_defaults_are_identity(self):
+        view = ScrambledView(MemoryGeometry(4, 2, 2))
+        assert view.physical_cell(3, 1) == view.geometry.cell_index(3, 1)
+
+
+class TestScrambledViewGuards:
+    def test_non_power_of_two_words_rejected(self):
+        """A folded scramble is non-injective; the view must refuse it."""
+        geometry = MemoryGeometry(3, 2, 2)   # 6 words, scrambler spans 8
+        with pytest.raises(ValueError, match="power-of-two"):
+            ScrambledView(geometry)

@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_estimate_defaults(self):
+        args = build_parser().parse_args(["estimate"])
+        assert args.rows == 512 and args.bits == 32
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_estimate_runs(self, capsys):
+        rc = main(["estimate", "--rows", "32", "--columns", "4",
+                   "--bits", "8", "--sites", "400"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "VLV" in out and "DPM" in out
+
+    def test_estimate_saves_database(self, capsys, tmp_path):
+        db_path = tmp_path / "cov.json"
+        rc = main(["estimate", "--rows", "32", "--columns", "4",
+                   "--bits", "8", "--sites", "300",
+                   "--save-db", str(db_path)])
+        assert rc == 0
+        from repro.core.database import CoverageDatabase
+
+        loaded = CoverageDatabase.load(db_path)
+        assert len(loaded) > 0
+
+    def test_shmoo_fault_free(self, capsys):
+        rc = main(["shmoo"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "+" in out and "V |" in out
+
+    def test_shmoo_with_preset(self, capsys):
+        rc = main(["shmoo", "--defect", "rail-bridge",
+                   "--resistance", "240e3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "rail-bridge" in out
+
+    def test_shmoo_rejects_unknown_preset(self):
+        with pytest.raises(SystemExit):
+            main(["shmoo", "--defect", "gamma-ray"])
+
+    def test_venn_small_lot(self, capsys):
+        rc = main(["venn", "--devices", "800", "--seed", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "VLV only" in out
+
+    def test_plan(self, capsys):
+        rc = main(["plan", "--samples", "500", "--target-dpm", "100"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Pareto front" in out
+        assert "cheapest plan" in out

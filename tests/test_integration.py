@@ -1,0 +1,117 @@
+"""Cross-module integration tests: the paper's stories end to end."""
+
+import pytest
+
+from repro.analysis.tables import render_table1
+from repro.circuit.technology import CMOS018
+from repro.core.flow import MemoryTestFlow
+from repro.defects.behavior import DefectBehaviorModel
+from repro.defects.models import BridgeSite, OpenSite, bridge, open_defect
+from repro.experiment.classify import StressClassifier
+from repro.experiment.population import PopulationGenerator, PopulationSpec
+from repro.experiment.venn import VennCounts
+from repro.march.library import TEST_11N
+from repro.memory.geometry import MemoryGeometry
+from repro.memory.sram import Sram
+from repro.stress import production_conditions
+from repro.tester.ate import VirtualTester
+from repro.tester.bitmap import BitmapAnalyzer, DefectClassHint
+from repro.tester.shmoo import ShmooRunner, default_period_axis, default_voltage_axis
+
+
+@pytest.fixture(scope="module")
+def geom():
+    return MemoryGeometry(8, 2, 4)
+
+
+@pytest.fixture(scope="module")
+def tester():
+    return VirtualTester(DefectBehaviorModel(CMOS018))
+
+
+class TestChip1Story:
+    """Section 4.1 end to end: defect -> shmoo -> bitmap -> conclusion."""
+
+    def test_full_chain(self, geom, tester):
+        sram = Sram(geom, CMOS018)
+        cell = geom.cell_index(3, 1)
+        defect = bridge(BridgeSite.CELL_NODE_RAIL, 150e3, cell=cell,
+                        polarity=1)
+        conds = production_conditions(CMOS018)
+
+        # 1. Passes the standard screen.
+        for name in ("Vmin", "Vnom", "Vmax"):
+            assert tester.test_device(sram, [defect], TEST_11N,
+                                      conds[name]).passed
+        # 2. Fails VLV.
+        vlv = tester.test_device(sram, [defect], TEST_11N, conds["VLV"],
+                                 quick=False)
+        assert not vlv.passed
+        # 3. Bitmap: single cell, three march elements, reading '0'.
+        diag = BitmapAnalyzer(geom, TEST_11N).diagnose(vlv.fails)
+        assert diag.hint is DefectClassHint.SINGLE_CELL_STUCK
+        assert {s.notation for s in diag.element_signatures} == {
+            "{R0W1}", "{R1W0R0}", "{R0W1R1}"}
+        assert diag.read_value_bias == 0
+        # 4. Shmoo shows the low-voltage-only fail region.
+        plot = ShmooRunner(tester, TEST_11N).run(
+            sram, [defect], default_voltage_axis(), default_period_axis())
+        assert plot.passes_at(1.8, 100e-9)
+        assert not plot.passes_at(1.0, 100e-9)
+
+
+class TestChip2Story:
+    """Section 4.2: the decoder open detected only at Vmax."""
+
+    def test_full_chain(self, geom, tester):
+        sram = Sram(geom, CMOS018)
+        defect = open_defect(OpenSite.DECODER_INPUT, 5e5, cell=9)
+        conds = production_conditions(CMOS018)
+        assert tester.test_device(sram, [defect], TEST_11N,
+                                  conds["Vnom"]).passed
+        assert tester.test_device(sram, [defect], TEST_11N,
+                                  conds["VLV"]).passed
+        vmax = tester.test_device(sram, [defect], TEST_11N, conds["Vmax"],
+                                  quick=False)
+        assert not vmax.passed
+        diag = BitmapAnalyzer(geom, TEST_11N).diagnose(vmax.fails)
+        # Paper: single-address failure reading '0', two march elements.
+        assert diag.hint in (DefectClassHint.ADDRESS_PAIR,
+                             DefectClassHint.SINGLE_CELL_STUCK)
+
+
+class TestSimulationVsSilicon:
+    """Section 5's headline: the estimator and the population agree."""
+
+    @pytest.fixture(scope="class")
+    def estimator_report(self):
+        from repro.memory.geometry import VEQTOR4_INSTANCE
+        return MemoryTestFlow(VEQTOR4_INSTANCE,
+                              n_sites=2000).run().bridge_report
+
+    @pytest.fixture(scope="class")
+    def experiment(self):
+        spec = PopulationSpec(n_devices=6000, seed=1105)
+        chips = PopulationGenerator(spec).generate()
+        return StressClassifier().classify(chips)
+
+    def test_vlv_is_best_in_both_worlds(self, estimator_report, experiment):
+        assert estimator_report.best_condition().condition == "VLV"
+        venn = VennCounts.from_experiment(experiment)
+        assert venn.vlv_total == max(venn.vlv_total, venn.vmax_total,
+                                     venn.atspeed_total)
+
+    def test_order_of_magnitude_agreement(self, estimator_report,
+                                          experiment):
+        """Estimator's DPM ratio and the population's escape ratio are
+        both 'almost an order of magnitude' (paper: ~9x both ways)."""
+        est_ratio = estimator_report.dpm_ratio("Vmax", "VLV")
+        vlv_escapes = experiment.escape_dpm("VLV")
+        vmax_escapes = max(experiment.escape_dpm("Vmax"), 1.0)
+        pop_ratio = vlv_escapes / vmax_escapes
+        assert est_ratio > 3.0
+        assert pop_ratio > 3.0
+
+    def test_table1_rendering_end_to_end(self, estimator_report):
+        text = render_table1(estimator_report)
+        assert "VLV" in text and "DPM" in text

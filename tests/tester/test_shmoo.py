@@ -1,0 +1,141 @@
+"""Tests for repro.tester.shmoo."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.technology import CMOS018
+from repro.defects.behavior import DefectBehaviorModel
+from repro.defects.models import BridgeSite, OpenSite, bridge, open_defect
+from repro.march.library import TEST_11N
+from repro.memory.geometry import MemoryGeometry
+from repro.memory.sram import Sram
+from repro.tester.ate import VirtualTester
+from repro.tester.shmoo import (
+    ShmooPlot,
+    ShmooRunner,
+    default_period_axis,
+    default_voltage_axis,
+)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    tester = VirtualTester(DefectBehaviorModel(CMOS018))
+    return ShmooRunner(tester, TEST_11N)
+
+
+@pytest.fixture(scope="module")
+def sram():
+    return Sram(MemoryGeometry(8, 2, 4), CMOS018)
+
+
+@pytest.fixture(scope="module")
+def fault_free_plot(runner, sram):
+    return runner.run(sram, [], default_voltage_axis(),
+                      default_period_axis(), "fault-free")
+
+
+class TestShmooPlotContainer:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            ShmooPlot(np.array([1.0, 2.0]), np.array([1e-9]),
+                      np.zeros((1, 1), dtype=bool))
+
+    def test_queries(self, fault_free_plot):
+        assert fault_free_plot.passes_at(1.8, 100e-9)
+        assert not fault_free_plot.passes_at(0.8, 5e-9)
+
+    def test_min_passing_voltage(self, fault_free_plot):
+        v = fault_free_plot.min_passing_voltage(100e-9)
+        assert v is not None and v <= 1.0
+
+    def test_min_passing_period_monotone_in_vdd(self, fault_free_plot):
+        p_low = fault_free_plot.min_passing_period(1.0)
+        p_high = fault_free_plot.min_passing_period(1.95)
+        assert p_low > p_high
+
+    def test_render_contains_marks(self, fault_free_plot):
+        text = fault_free_plot.render()
+        assert "+" in text and "." in text
+        assert "fault-free" in text
+        assert "ns" in text
+
+    def test_render_markers(self, fault_free_plot):
+        v = float(fault_free_plot.voltages[0])
+        p = float(fault_free_plot.periods[0])
+        text = fault_free_plot.render(markers={(v, p): "X"})
+        assert "X" in text
+
+
+class TestFigureThreeAnchors:
+    """Figure 3: the fault-free device's shmoo."""
+
+    def test_passes_vlv_at_100ns(self, fault_free_plot):
+        assert fault_free_plot.passes_at(1.0, 100e-9)
+
+    def test_fails_lower_left(self, fault_free_plot):
+        assert not fault_free_plot.passes_at(0.8, 5e-9)
+
+    def test_boundary_not_vertical(self, fault_free_plot):
+        """The fault-free boundary curves with voltage (unlike Chip-3)."""
+        assert not fault_free_plot.boundary_is_vertical()
+
+
+class TestDefectShmoos:
+    def test_chip1_fails_only_low_voltage(self, runner, sram):
+        d = bridge(BridgeSite.CELL_NODE_RAIL, 240e3, polarity=1)
+        plot = runner.run(sram, [d], default_voltage_axis(),
+                          default_period_axis())
+        assert not plot.passes_at(1.0, 100e-9)   # VLV fail
+        assert plot.passes_at(1.8, 100e-9)       # standard pass
+        assert plot.passes_at(1.95, 100e-9)
+
+    def test_chip2_fails_only_high_voltage(self, runner, sram):
+        d = open_defect(OpenSite.DECODER_INPUT, 5e5)
+        plot = runner.run(sram, [d], default_voltage_axis(),
+                          default_period_axis())
+        assert not plot.passes_at(2.0, 100e-9)
+        assert not plot.passes_at(2.2, 100e-9)
+        assert plot.passes_at(1.8, 100e-9)
+        assert plot.passes_at(1.0, 100e-9)
+        # Frequency independent: fails at Vmax even at the slowest period.
+        assert not plot.passes_at(2.0, float(plot.periods[-1]))
+
+    def test_chip3_vertical_boundary(self, runner, sram):
+        d = open_defect(OpenSite.BITLINE_SEGMENT, 3e6)
+        volts = np.linspace(1.5, 2.1, 7)
+        periods = np.linspace(10e-9, 30e-9, 21)
+        plot = runner.run(sram, [d], volts, periods)
+        assert plot.boundary_is_vertical()
+        # Fails at 16 ns, passes at 17 ns irrespective of Vdd (paper).
+        boundary = plot.min_passing_period(1.8)
+        assert 15e-9 < boundary < 18e-9
+
+    def test_chip4_boundary_moves_with_voltage(self, runner, sram):
+        d = open_defect(OpenSite.PERIPHERY_PATH, 3e6)
+        volts = np.linspace(1.4, 2.1, 8)
+        periods = np.linspace(6e-9, 40e-9, 18)
+        plot = runner.run(sram, [d], volts, periods)
+        assert not plot.boundary_is_vertical()
+        p_low = plot.min_passing_period(1.4)
+        p_high = plot.min_passing_period(2.1)
+        assert p_low > p_high
+
+    def test_fail_region_fraction(self, runner, sram):
+        d = bridge(BridgeSite.CELL_NODE_RAIL, 20.0)
+        plot = runner.run(sram, [d], default_voltage_axis(),
+                          default_period_axis())
+        assert plot.fail_region_fraction() == 1.0
+
+
+class TestAxes:
+    def test_default_axes_cover_paper_ranges(self):
+        v = default_voltage_axis()
+        p = default_period_axis()
+        assert v[0] <= 1.0 and v[-1] >= 1.95
+        assert p[0] <= 15e-9 and p[-1] >= 100e-9
+
+    def test_runner_sorts_axes(self, runner, sram):
+        plot = runner.run(sram, [], [2.0, 1.0, 1.5], [50e-9, 10e-9])
+        assert list(plot.voltages) == [1.0, 1.5, 2.0]
+        assert list(plot.periods) == [10e-9, 50e-9]
