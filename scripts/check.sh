@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# CI / pre-commit gate: style lint, type check, domain lint, tier-1 tests.
+#
+#   scripts/check.sh            # full sequence
+#   STRICT_LINT=1 scripts/check.sh   # repro lint treats warnings as errors
+#
+# ruff and mypy are skipped with a notice when not installed (offline
+# images bake only the runtime toolchain); the pytest tier-1 suite and
+# the repro-lint smoke always run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+status=0
+
+if command -v ruff >/dev/null 2>&1; then
+    echo "== ruff =="
+    ruff check src tests || status=$?
+else
+    echo "== ruff == (not installed; skipped)"
+fi
+
+if command -v mypy >/dev/null 2>&1; then
+    echo "== mypy =="
+    mypy || status=$?
+else
+    echo "== mypy == (not installed; skipped)"
+fi
+
+echo "== repro lint =="
+lint_flags=()
+if [ "${STRICT_LINT:-0}" = "1" ]; then
+    lint_flags+=(--strict)
+fi
+python -m repro lint "${lint_flags[@]}" || status=$?
+
+echo "== pytest (tier 1) =="
+python -m pytest -x -q || status=$?
+
+exit "$status"

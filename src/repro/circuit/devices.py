@@ -116,7 +116,8 @@ class Mosfet:
         i, _, _ = self.ids_and_conductances(vgs, vds)
         return i
 
-    def ids_and_conductances(self, vgs: float, vds: float) -> tuple[float, float, float]:
+    def ids_and_conductances(self, vgs: float,
+                             vds: float) -> tuple[float, float, float]:
         """Current plus small-signal gm (dI/dVgs) and gds (dI/dVds).
 
         For PMOS the terminal convention is the same (current positive

@@ -140,6 +140,20 @@ class Netlist:
         faulty.add(Resistor(name, internal, original_net, resistance))
         return faulty
 
+    # ------------------------------------------------------------------
+    # Static analysis
+    # ------------------------------------------------------------------
+    def lint(self, tech=None, config=None):
+        """Run the ``NET0xx`` ERC pack on this netlist.
+
+        Returns a :class:`repro.lint.LintReport`; see
+        ``docs/static_analysis.md`` for the rule catalog.  (Imported
+        lazily: :mod:`repro.lint` depends on this module.)
+        """
+        from repro.lint import lint_netlist
+
+        return lint_netlist(self, tech=tech, config=config)
+
     def __repr__(self) -> str:
         return (
             f"Netlist({self.title!r}, {len(self._devices)} devices, "

@@ -8,6 +8,7 @@ equivalent front door::
     python -m repro venn --devices 11000 --seed 1105
     python -m repro plan --target-dpm 50
     python -m repro report
+    python -m repro lint --format json netlist:demo-broken
 
 Every subcommand prints the same text artefacts the library's
 benchmarks assert on.
@@ -126,6 +127,126 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Default ``repro lint`` targets: every library march test, the two
+#: transistor-level netlist builders and the paper's production suite.
+_DEFAULT_LINT_TARGETS = ("march:all", "netlist:cell", "netlist:decoder",
+                         "plan:production")
+
+
+def _lint_netlist_target(kind: str, config):
+    from repro.lint import lint_netlist
+    from repro.memory.cell import SixTCell
+    from repro.memory.decoder import build_decoder_netlist
+
+    vdd = CMOS018.vdd_nominal
+    if kind == "cell":
+        netlist = SixTCell(CMOS018).standalone_netlist(vdd, 1)
+    elif kind == "decoder":
+        netlist = build_decoder_netlist(CMOS018, vdd)
+    elif kind == "demo-broken":
+        from repro.lint.demo import demo_broken_netlist
+
+        netlist = demo_broken_netlist(CMOS018)
+    else:
+        raise ValueError(
+            f"unknown netlist target {kind!r}; "
+            "choices: cell, decoder, demo-broken")
+    return [lint_netlist(netlist, CMOS018, config, f"netlist:{kind}")]
+
+
+def _lint_march_target(name: str, config):
+    from repro.lint import lint_march
+    from repro.march.library import STANDARD_TESTS, get_test
+
+    if name == "all":
+        return [lint_march(t, config, f"march:{n}")
+                for n, t in STANDARD_TESTS.items()]
+    return [lint_march(get_test(name), config, f"march:{name}")]
+
+
+def _lint_plan_target(suite: str, config, args):
+    from repro.lint import lint_plan
+    from repro.stress import production_conditions, standard_conditions
+
+    if suite == "production":
+        conditions = production_conditions(CMOS018)
+    elif suite == "standard":
+        conditions = standard_conditions(CMOS018)
+    else:
+        raise ValueError(f"unknown plan target {suite!r}; "
+                         "choices: production, standard")
+    plans = None
+    if args.target_dpm is not None:
+        import itertools
+
+        from repro.core.testplan import JointCoverageTable, TestPlanOptimizer
+        from repro.march.library import get_test
+
+        # Coverage is measured against the full production suite's
+        # detectable-defect universe, so a reduced suite (plan:standard)
+        # honestly shows the defects its subsets can never catch.
+        table = JointCoverageTable(VEQTOR4_INSTANCE, CMOS018,
+                                   production_conditions(CMOS018),
+                                   n_samples=args.samples)
+        optimizer = TestPlanOptimizer(table, get_test(args.test))
+        names = list(conditions)
+        plans = [optimizer.evaluate(subset)
+                 for r in range(1, len(names) + 1)
+                 for subset in itertools.combinations(names, r)]
+    return [lint_plan(conditions, CMOS018, plans, args.target_dpm, config,
+                      f"plan:{suite}")]
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import (
+        LintConfig,
+        all_rules,
+        combined_exit_code,
+        render_json,
+        render_text,
+    )
+
+    if args.list_rules:
+        for r in all_rules():
+            print(f"{r.rule_id}  [{r.default_severity}]  {r.title}")
+        return 0
+
+    config = LintConfig()
+    try:
+        for chunk in args.disable:
+            config = config.disable(*[s.strip() for s in chunk.split(",")
+                                      if s.strip()])
+    except KeyError as exc:
+        print(f"repro lint: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    reports = []
+    for target in (args.targets or list(_DEFAULT_LINT_TARGETS)):
+        scheme, _, rest = target.partition(":")
+        try:
+            if scheme == "march":
+                reports.extend(_lint_march_target(rest or "all", config))
+            elif scheme == "netlist":
+                reports.extend(_lint_netlist_target(rest, config))
+            elif scheme == "plan":
+                reports.extend(_lint_plan_target(rest or "production",
+                                                 config, args))
+            else:
+                raise ValueError(
+                    f"unknown lint target {target!r}; use march:<name|all>, "
+                    "netlist:<cell|decoder|demo-broken> or "
+                    "plan:<production|standard>")
+        except (KeyError, ValueError) as exc:
+            print(exc, file=sys.stderr)
+            return 2
+
+    if args.format == "json":
+        print(render_json(reports, strict=args.strict))
+    else:
+        print(render_text(reports, verbose=args.verbose))
+    return combined_exit_code(reports, strict=args.strict)
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.report import full_report
 
@@ -176,6 +297,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--samples", type=int, default=3000)
     p.add_argument("--target-dpm", type=float, default=None)
     p.set_defaults(func=_cmd_plan)
+
+    p = sub.add_parser(
+        "lint",
+        help="static analysis of netlists, march tests and test plans",
+        description="Run the repro.lint rule packs.  Exit codes: 0 clean, "
+                    "1 warnings remain under --strict, 2 errors.")
+    p.add_argument("targets", nargs="*", metavar="TARGET",
+                   help="march:<name|all>, netlist:<cell|decoder|demo-"
+                        "broken>, plan:<production|standard> "
+                        f"(default: {' '.join(_DEFAULT_LINT_TARGETS)})")
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   help="report format")
+    p.add_argument("--strict", action="store_true",
+                   help="treat warnings as errors (exit 1)")
+    p.add_argument("--disable", action="append", default=[],
+                   metavar="RULES",
+                   help="comma-separated rule IDs to suppress "
+                        "(repeatable)")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule catalog and exit")
+    p.add_argument("--verbose", action="store_true",
+                   help="also list clean targets in text output")
+    p.add_argument("--target-dpm", type=float, default=None,
+                   help="enable the PLAN003 reachability rule against "
+                        "this DPM target")
+    p.add_argument("--samples", type=int, default=400,
+                   help="Monte-Carlo samples for the PLAN003 coverage "
+                        "table")
+    p.add_argument("--test", default="11N",
+                   help="march test used by the PLAN003 time/coverage "
+                        "model")
+    p.set_defaults(func=_cmd_lint)
 
     p = sub.add_parser("report", help="full paper-vs-measured report")
     p.add_argument("--sites", type=int, default=4000)

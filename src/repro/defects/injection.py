@@ -12,6 +12,12 @@ Two injection paths, mirroring the paper's flow (Figure 2):
   :func:`inject_open_into_decoder` splice the defect into a
   transistor-level netlist for the Spice-like solver, used by the
   Figure 5/6 waveform reproduction and by calibration cross-checks.
+
+Every netlist-level injection is ERC-checked (:mod:`repro.lint`'s
+``NET0xx`` pack) before it is handed to the solver, so a malformed
+injection fails loudly at the injection site instead of as a cryptic
+Newton-convergence error; pass ``erc=False`` to skip the check inside
+hot sweep loops.
 """
 
 from __future__ import annotations
@@ -128,7 +134,8 @@ def make_atspeed_fault(cell: int, state: int = 0,
 # ----------------------------------------------------------------------
 def inject_bridge_into_cell(cell: SixTCell, vdd: float, state: int,
                             defect: Defect,
-                            to_rail: str | None = None) -> Netlist:
+                            to_rail: str | None = None,
+                            erc: bool = True) -> Netlist:
     """Standalone 6T-cell netlist with the bridge spliced in.
 
     Args:
@@ -138,6 +145,9 @@ def inject_bridge_into_cell(cell: SixTCell, vdd: float, state: int,
         defect: Bridge defect (its resistance is used).
         to_rail: ``"gnd"``/``"vdd"``; default chosen from the defect
             polarity (-1 -> gnd).
+        erc: Run the netlist ERC pack on the result and raise
+            :class:`repro.lint.LintError` on error findings; disable
+            inside hot sweep loops.
 
     Returns:
         The faulty netlist, ready for
@@ -149,19 +159,32 @@ def inject_bridge_into_cell(cell: SixTCell, vdd: float, state: int,
     high_node = cell.node("t") if state else cell.node("c")
     low_node = cell.node("c") if state else cell.node("t")
     if rail == "gnd":
-        return base.with_bridge(high_node, "0", defect.resistance)
-    return base.with_bridge(low_node, "vdd", defect.resistance)
+        faulty = base.with_bridge(high_node, "0", defect.resistance)
+    else:
+        faulty = base.with_bridge(low_node, "vdd", defect.resistance)
+    if erc:
+        _erc_check(faulty, cell.tech)
+    return faulty
+
+
+def _erc_check(netlist: Netlist, tech) -> None:
+    """Gate an injected netlist on the ``NET0xx`` ERC pack (errors only)."""
+    from repro.lint import assert_netlist_clean
+
+    assert_netlist_clean(netlist, tech=tech,
+                         target=f"injection:{netlist.title}")
 
 
 def inject_open_into_decoder(tech, vdd: float, defect: Defect,
-                             address_bits: int = 2) -> Netlist:
+                             address_bits: int = 2,
+                             erc: bool = True) -> Netlist:
     """Decoder netlist with a resistive open at the LSB input inverter.
 
     Reproduces the paper's Figure 5/6 setup: "an open defect injected at
     the least significant bit of the row address decoder".  The open is
     spliced in series with the gate of the LSB phase inverter, so the
     complement phase ``a0b`` lags the true phase -- the select/deselect
-    hazard.
+    hazard.  ``erc=False`` skips the post-injection ERC gate.
     """
     base = build_decoder_netlist(tech, vdd, address_bits=address_bits)
     faulty = base.with_open("INVA0_P", "gate", defect.resistance,
@@ -180,4 +203,6 @@ def inject_open_into_decoder(tech, vdd: float, defect: Defect,
     # the select/deselect hazard of the paper's Figures 5/6.
     faulty.add(Capacitor("Cgate_open", pmos.gate, "0",
                          3.0 * tech.gate_capacitance))
+    if erc:
+        _erc_check(faulty, tech)
     return faulty

@@ -1,0 +1,242 @@
+"""Netlist ERC rule pack (``NET0xx``).
+
+Electrical rule checks over :class:`repro.circuit.netlist.Netlist`,
+run before a netlist reaches the Newton solver -- a floating node or a
+bridge spliced onto a nonexistent net otherwise surfaces as a cryptic
+convergence failure deep inside :mod:`repro.circuit.solver`.
+
+Context object: :class:`NetlistLintContext` (the netlist plus an
+optional :class:`~repro.circuit.technology.Technology` for parameter
+bounds).  DC reachability treats MOSFET channels (drain--source),
+resistors and sources as conductive; gates and capacitors are not.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.circuit.devices import (
+    Capacitor,
+    CurrentSource,
+    Device,
+    Mosfet,
+    Resistor,
+    VoltageSource,
+)
+from repro.circuit.netlist import GROUND, Netlist
+from repro.circuit.technology import Technology
+from repro.lint.core import Finding, Severity, rule
+
+#: Resistances below this are treated as hard shorts by NET005.
+SHORT_RESISTANCE = 10.0
+
+#: Resistances above this are effectively opens (NET006).
+OPEN_RESISTANCE = 1e12
+
+#: Sane MOSFET width-multiplier window (NET006); the library's largest
+#: drivers are ~20x minimum size.
+WIDTH_BOUNDS = (0.05, 200.0)
+
+#: Sane two-terminal capacitor window in farads (NET006): below an aF it
+#: is numerically invisible, above a nF it is not an on-chip node load.
+CAPACITANCE_BOUNDS = (1e-18, 1e-9)
+
+#: Prefixes of injected-defect elements (``Netlist.with_bridge`` /
+#: ``with_open`` defaults); NET003/NET004 key on these conventions.
+BRIDGE_PREFIX = "Rbridge"
+OPEN_NODE_PREFIX = "_open"
+
+
+@dataclass(frozen=True)
+class NetlistLintContext:
+    """Input to the netlist pack.
+
+    Attributes:
+        netlist: The netlist under check.
+        tech: Technology corner for parameter-sanity bounds (NET006);
+            when ``None`` the technology-relative checks are skipped.
+    """
+
+    netlist: Netlist
+    tech: Technology | None = None
+
+
+def _conductive_adjacency(nl: Netlist) -> dict[str, set[str]]:
+    """Node adjacency through DC-conducting elements."""
+    adj: dict[str, set[str]] = {}
+
+    def link(a: str, b: str) -> None:
+        adj.setdefault(a, set()).add(b)
+        adj.setdefault(b, set()).add(a)
+
+    for dev in nl.devices():
+        if isinstance(dev, Mosfet):
+            link(dev.drain, dev.source)
+        elif isinstance(dev, Resistor):
+            link(dev.node_a, dev.node_b)
+        elif isinstance(dev, (VoltageSource, CurrentSource)):
+            link(dev.node_pos, dev.node_neg)
+    return adj
+
+
+def _driven_nodes(nl: Netlist) -> set[str]:
+    """Nodes with a DC path to ground or to a voltage-source terminal."""
+    roots = {GROUND}
+    for src in nl.devices_of_type(VoltageSource):
+        roots.add(src.node_pos)
+        roots.add(src.node_neg)
+    adj = _conductive_adjacency(nl)
+    seen = set(roots)
+    frontier = deque(roots)
+    while frontier:
+        node = frontier.popleft()
+        for neighbour in adj.get(node, ()):
+            if neighbour not in seen:
+                seen.add(neighbour)
+                frontier.append(neighbour)
+    return seen
+
+
+@rule("NET001", "netlist", "floating (undriven) node",
+      severity=Severity.ERROR,
+      rationale="A node with no DC path to any rail or source has no "
+                "defined operating point; the Newton solver fails on it "
+                "with an opaque singular-matrix/convergence error.")
+def check_floating_nodes(ctx: NetlistLintContext) -> Iterator[Finding]:
+    driven = _driven_nodes(ctx.netlist)
+    for node in ctx.netlist.nodes:
+        if node not in driven:
+            yield Finding(
+                f"node {node!r} has no DC path to any source or rail "
+                "(only gate/capacitor connections)", location=node)
+
+
+@rule("NET002", "netlist", "single-terminal (dangling) node",
+      severity=Severity.WARNING,
+      rationale="A net touched by exactly one device terminal connects "
+                "nothing to nothing -- almost always a typo'd node name "
+                "left over from construction or injection.")
+def check_dangling_nodes(ctx: NetlistLintContext) -> Iterator[Finding]:
+    for node, devices in ctx.netlist.connectivity().items():
+        if node != GROUND and len(devices) == 1:
+            yield Finding(
+                f"node {node!r} touches only {devices[0]!r}; the net is "
+                "dangling", location=node)
+
+
+@rule("NET003", "netlist", "bridge endpoint does not exist",
+      severity=Severity.ERROR,
+      rationale="An injected bridge must land on two nets of the base "
+                "circuit; a bridge whose endpoint exists only on the "
+                "bridge itself shorts to nothing and silently wastes the "
+                "whole defect-simulation run.")
+def check_bridge_endpoints(ctx: NetlistLintContext) -> Iterator[Finding]:
+    connectivity = ctx.netlist.connectivity()
+    for res in ctx.netlist.devices_of_type(Resistor):
+        if not res.name.startswith(BRIDGE_PREFIX):
+            continue
+        for endpoint in (res.node_a, res.node_b):
+            if endpoint != GROUND and connectivity.get(endpoint) == [res.name]:
+                yield Finding(
+                    f"bridge {res.name!r} endpoint {endpoint!r} exists "
+                    "nowhere else in the netlist (bridge to a "
+                    "nonexistent net)", location=endpoint)
+
+
+@rule("NET004", "netlist", "malformed open splice",
+      severity=Severity.ERROR,
+      rationale="with_open() rewires a terminal onto an internal node "
+                "and splices a resistor back to the original net; an "
+                "internal node missing either side models no defect at "
+                "all (the terminal simply floats).")
+def check_open_splices(ctx: NetlistLintContext) -> Iterator[Finding]:
+    connectivity = ctx.netlist.connectivity()
+    for node, devices in connectivity.items():
+        if not node.startswith(OPEN_NODE_PREFIX):
+            continue
+        resistors = [d for d in devices
+                     if isinstance(ctx.netlist[d], Resistor)]
+        if len(devices) < 2:
+            yield Finding(
+                f"open-splice node {node!r} touches only "
+                f"{len(devices)} device(s); the rewired terminal or the "
+                "splice resistor is missing", location=node)
+        elif len(resistors) != 1:
+            yield Finding(
+                f"open-splice node {node!r} should carry exactly one "
+                f"splice resistor, found {len(resistors)}", location=node)
+
+
+@rule("NET005", "netlist", "direct supply-to-ground short",
+      severity=Severity.ERROR,
+      rationale="A hard short across a supply is a construction bug, "
+                "not a resistive defect: the operating point degenerates "
+                "and every downstream measurement is meaningless.")
+def check_rail_shorts(ctx: NetlistLintContext) -> Iterator[Finding]:
+    sources = list(ctx.netlist.devices_of_type(VoltageSource))
+    for src in sources:
+        if src.node_pos == src.node_neg:
+            yield Finding(
+                f"voltage source {src.name!r} has both terminals on "
+                f"node {src.node_pos!r}", location=src.name)
+    rails = {s.node_pos: s for s in sources if s.value != 0.0}
+    for res in ctx.netlist.devices_of_type(Resistor):
+        if res.resistance >= SHORT_RESISTANCE:
+            continue
+        for a, b in ((res.node_a, res.node_b), (res.node_b, res.node_a)):
+            src = rails.get(a)
+            if src is not None and b in (GROUND, src.node_neg):
+                yield Finding(
+                    f"resistor {res.name!r} ({res.resistance:g} ohm) "
+                    f"shorts supply {src.name!r} node {a!r} to "
+                    f"{b!r}", location=res.name)
+                break
+
+
+@rule("NET006", "netlist", "device parameter outside sane bounds",
+      severity=Severity.WARNING,
+      rationale="Widths, resistances and capacitances far outside the "
+                "technology's plausible window usually mean a unit "
+                "mix-up (ohms vs kilo-ohms, farads vs femtofarads) that "
+                "the solver will happily -- and wrongly -- accept.")
+def check_device_parameters(ctx: NetlistLintContext) -> Iterator[Finding]:
+    tech = ctx.tech
+    for dev in ctx.netlist.devices():
+        yield from _device_parameter_findings(dev, tech)
+
+
+def _device_parameter_findings(dev: Device,
+                               tech: Technology | None) -> Iterator[Finding]:
+    if isinstance(dev, Mosfet):
+        lo, hi = WIDTH_BOUNDS
+        if not lo <= dev.width <= hi:
+            yield Finding(
+                f"MOSFET {dev.name!r} width multiplier {dev.width:g} is "
+                f"outside the sane window [{lo:g}, {hi:g}]",
+                location=dev.name)
+        if tech is not None and dev.tech.name != tech.name:
+            yield Finding(
+                f"MOSFET {dev.name!r} is bound to technology "
+                f"{dev.tech.name!r} but the netlist is checked against "
+                f"{tech.name!r} (mixed-technology netlist)",
+                location=dev.name)
+    elif isinstance(dev, Resistor):
+        if dev.resistance > OPEN_RESISTANCE:
+            yield Finding(
+                f"resistor {dev.name!r} ({dev.resistance:g} ohm) is "
+                "effectively an open circuit", location=dev.name)
+    elif isinstance(dev, Capacitor):
+        lo, hi = CAPACITANCE_BOUNDS
+        if not lo <= dev.capacitance <= hi:
+            yield Finding(
+                f"capacitor {dev.name!r} ({dev.capacitance:g} F) is "
+                f"outside the on-chip window [{lo:g}, {hi:g}]",
+                location=dev.name)
+    elif isinstance(dev, VoltageSource):
+        if tech is not None and abs(dev.value) > 1.25 * tech.vdd_max:
+            yield Finding(
+                f"source {dev.name!r} drives {dev.value:g} V, beyond "
+                f"1.25x the technology maximum supply "
+                f"({tech.vdd_max:g} V)", location=dev.name)

@@ -1,0 +1,150 @@
+"""Test-plan / stress-suite rule pack (``PLAN0xx``).
+
+Checks over a suite of :class:`repro.stress.StressCondition` corners and
+(optionally) the evaluated :class:`repro.core.testplan.TestPlan` subsets
+of a :class:`~repro.core.testplan.TestPlanOptimizer` run.  The paper's
+closing recommendation -- combine the best algorithms with *specific*
+stress conditions -- presumes the condition suite itself is sound: no
+duplicated corners burning test time, a very-low-voltage leg for
+bridges, a fast leg for timing faults, and a DPM target that some
+condition subset can actually reach.
+
+Context object: :class:`PlanLintContext`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.circuit.technology import Technology
+from repro.core.testplan import TestPlan
+from repro.lint.core import Finding, Severity, rule
+from repro.stress import StressCondition
+
+#: A suite "has an at-speed leg" when its fastest corner runs at no more
+#: than this fraction of the slowest corner's period (the paper's suite:
+#: 15 ns at-speed vs 100 ns standard, ratio 0.15).
+ATSPEED_PERIOD_RATIO = 0.5
+
+#: The paper's VLV guideline: stress voltage at most 2.5 x VT.
+VLV_VT_RATIO = 2.5
+
+
+@dataclass(frozen=True)
+class PlanLintContext:
+    """Input to the plan pack.
+
+    Attributes:
+        conditions: Name -> stress condition suite under check.
+        tech: Technology corner for voltage-window rules (PLAN004/005);
+            when ``None`` those rules are skipped.
+        plans: Evaluated condition subsets (``optimizer.all_plans()``),
+            enabling the reachability rule PLAN003.
+        target_dpm: DPM target the plan must meet (PLAN003).
+    """
+
+    conditions: dict[str, StressCondition]
+    tech: Technology | None = None
+    plans: list[TestPlan] | None = None
+    target_dpm: float | None = None
+
+
+@rule("PLAN001", "plan", "duplicate stress conditions",
+      severity=Severity.WARNING,
+      rationale="Two corners with identical (Vdd, period, temperature) "
+                "catch identical defects; the second one is pure test "
+                "time (the paper's Section 5 is about *removing* "
+                "redundant corners).")
+def check_duplicate_conditions(ctx: PlanLintContext) -> Iterator[Finding]:
+    seen: dict[tuple[float, float, float], str] = {}
+    for name, cond in ctx.conditions.items():
+        key = (cond.vdd, cond.period, cond.temperature)
+        if key in seen:
+            yield Finding(
+                f"condition {name!r} duplicates {seen[key]!r} "
+                f"({cond.vdd:g} V, {cond.period * 1e9:g} ns, "
+                f"{cond.temperature:g} C)", location=name)
+        else:
+            seen[key] = name
+
+
+@rule("PLAN002", "plan", "no at-speed leg",
+      severity=Severity.WARNING,
+      rationale="Resistive opens and other timing-related defects only "
+                "manifest at high frequency (paper Section 4.3); a suite "
+                "whose corners all run at the slow production period "
+                "cannot catch them.")
+def check_atspeed_leg(ctx: PlanLintContext) -> Iterator[Finding]:
+    if not ctx.conditions:
+        return
+    periods = [c.period for c in ctx.conditions.values()]
+    fastest, slowest = min(periods), max(periods)
+    if fastest > ATSPEED_PERIOD_RATIO * slowest:
+        yield Finding(
+            f"no at-speed leg: the fastest corner ({fastest * 1e9:g} ns) "
+            f"is within {ATSPEED_PERIOD_RATIO:g}x of the slowest "
+            f"({slowest * 1e9:g} ns); timing-related defects escape")
+
+
+@rule("PLAN003", "plan", "DPM target unreachable",
+      severity=Severity.ERROR,
+      rationale="If no condition subset reaches the quality target, the "
+                "plan search will silently return 'unreachable' in "
+                "production; better to fail the plan review up front.")
+def check_dpm_reachable(ctx: PlanLintContext) -> Iterator[Finding]:
+    if ctx.plans is None or ctx.target_dpm is None or not ctx.plans:
+        return
+    best = min(ctx.plans, key=lambda p: p.dpm)
+    if best.dpm > ctx.target_dpm:
+        yield Finding(
+            f"target of {ctx.target_dpm:g} DPM is unreachable: the best "
+            f"subset ({'+'.join(best.conditions)}) only achieves "
+            f"{best.dpm:.0f} DPM")
+
+
+@rule("PLAN004", "plan", "no very-low-voltage leg",
+      severity=Severity.WARNING,
+      rationale="Resistive bridges hide at nominal voltage and are "
+                "exposed at VLV (paper Section 4.1, guideline "
+                "2..2.5 x VT); a suite without a VLV corner ships "
+                "bridge escapes.")
+def check_vlv_leg(ctx: PlanLintContext) -> Iterator[Finding]:
+    if ctx.tech is None or not ctx.conditions:
+        return
+    ceiling = VLV_VT_RATIO * ctx.tech.vth_n
+    if not any(c.vdd <= ceiling for c in ctx.conditions.values()):
+        yield Finding(
+            f"no very-low-voltage leg: no corner at or below "
+            f"{VLV_VT_RATIO:g} x VT ({ceiling:.2f} V); resistive "
+            "bridges escape")
+
+
+@rule("PLAN005", "plan", "condition outside technology window",
+      severity=Severity.ERROR,
+      rationale="A corner above the technology's maximum supply "
+                "overstresses (and can damage) good devices; one below "
+                "threshold cannot operate the array at all -- both "
+                "invalidate every measurement taken there.")
+def check_supply_window(ctx: PlanLintContext) -> Iterator[Finding]:
+    if ctx.tech is None:
+        return
+    for name, cond in ctx.conditions.items():
+        if cond.vdd > ctx.tech.vdd_max + 1e-9:
+            yield Finding(
+                f"condition {name!r} at {cond.vdd:g} V exceeds the "
+                f"technology maximum supply ({ctx.tech.vdd_max:g} V)",
+                location=name)
+        elif cond.vdd < ctx.tech.vth_n:
+            yield Finding(
+                f"condition {name!r} at {cond.vdd:g} V is below the "
+                f"NMOS threshold ({ctx.tech.vth_n:g} V); the array "
+                "cannot operate", location=name)
+
+
+@rule("PLAN006", "plan", "empty condition suite",
+      severity=Severity.ERROR,
+      rationale="A plan with no stress conditions tests nothing.")
+def check_nonempty(ctx: PlanLintContext) -> Iterator[Finding]:
+    if not ctx.conditions:
+        yield Finding("the condition suite is empty")

@@ -1,18 +1,23 @@
-"""Structural validation of march tests.
+"""Structural validation of march tests (compatibility front door).
 
 Production test programs are validated before silicon ever sees them;
 this module provides the equivalent static checks for march tests built
-or parsed by users:
+or parsed by users.  Since the introduction of :mod:`repro.lint` the
+checks themselves live in the ``march`` rule pack
+(:mod:`repro.lint.rules_march`, rules ``MARCH001``..``MARCH009`` plus
+newer ones); :func:`validate` / :func:`is_valid` / :func:`assert_valid`
+remain as thin wrappers that run the pack and translate the migrated
+rules back to the original issue codes, in the original order -- callers
+of the historical API see identical results.
 
-* read-expectation consistency against an ideal memory (whole-test walk),
-* initialisation (the test must not read an undefined array),
-* per-element internal consistency,
-* detection-capability lower bounds (a test with no reads detects
-  nothing; a test without both 0-reads and 1-reads cannot detect both
-  stuck-at polarities).
+A test with zero elements (impossible via the :class:`MarchTest`
+constructor, but reachable through hand-built or deserialised objects)
+reports an error -- never an empty issue list.
 
 :func:`validate` returns a list of :class:`Issue` records rather than
-raising, so callers can render all problems at once.
+raising, so callers can render all problems at once.  For the full rule
+set (including info-severity findings and the newer rules), use
+:func:`repro.lint.lint_march` directly.
 """
 
 from __future__ import annotations
@@ -20,7 +25,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from enum import Enum
 
-from repro.march.pause import PauseElement
 from repro.march.test import MarchTest
 
 
@@ -41,13 +45,41 @@ class Issue:
         return f"[{self.severity.value}] {self.code}: {self.message}"
 
 
+#: Sort phase replicating the historical check order: initialisation
+#: checks first, then the per-element consistency walk (interleaved by
+#: element index, inconsistency before entry mismatch), then the
+#: detection-capability checks in their original sequence.
+_PHASES = {
+    "MARCH001": 0, "MARCH002": 0,
+    "MARCH003": 1, "MARCH004": 1,
+    "MARCH005": 2, "MARCH006": 2, "MARCH007": 2,
+    "MARCH008": 2, "MARCH009": 2,
+}
+
+
 def validate(test: MarchTest) -> list[Issue]:
-    """Run all static checks on a march test."""
-    issues: list[Issue] = []
-    issues.extend(_check_initialisation(test))
-    issues.extend(_check_consistency(test))
-    issues.extend(_check_detection_capability(test))
-    return issues
+    """Run all static checks on a march test (legacy issue format)."""
+    from repro.lint import Severity as LintSeverity
+    from repro.lint import lint_march
+    from repro.lint.rules_march import LEGACY_CODES
+
+    report = lint_march(test)
+    legacy = [i for i in report.issues if i.rule_id in LEGACY_CODES]
+
+    def order(issue) -> tuple[int, int, str]:
+        phase = _PHASES[issue.rule_id]
+        index = issue.index if phase == 1 and issue.index is not None else -1
+        return (phase, index, issue.rule_id)
+
+    return [
+        Issue(
+            Severity.ERROR if i.severity is LintSeverity.ERROR
+            else Severity.WARNING,
+            LEGACY_CODES[i.rule_id],
+            i.message,
+        )
+        for i in sorted(legacy, key=order)
+    ]
 
 
 def is_valid(test: MarchTest) -> bool:
@@ -61,87 +93,3 @@ def assert_valid(test: MarchTest) -> None:
     if errors:
         details = "; ".join(str(i) for i in errors)
         raise ValueError(f"march test {test.name!r} is invalid: {details}")
-
-
-def _check_initialisation(test: MarchTest) -> list[Issue]:
-    first = next((el for el in test.elements
-                  if not isinstance(el, PauseElement)), None)
-    if first is None:
-        return [Issue(Severity.ERROR, "no-operations",
-                      "test contains only pause elements")]
-    if first.ops[0].is_read:
-        return [Issue(
-            Severity.ERROR,
-            "uninitialised-read",
-            f"first element {first.notation} reads before any write; the "
-            "array content is undefined at power-up",
-        )]
-    return []
-
-
-def _check_consistency(test: MarchTest) -> list[Issue]:
-    issues: list[Issue] = []
-    state: int | None = None
-    for idx, element in enumerate(test.elements):
-        if not element.is_consistent():
-            issues.append(Issue(
-                Severity.ERROR,
-                "element-inconsistent",
-                f"element {idx} {element.notation} reads a value that "
-                "contradicts its own preceding write",
-            ))
-        entry = element.entry_state()
-        if entry is not None and state is not None and entry != state:
-            issues.append(Issue(
-                Severity.ERROR,
-                "entry-state-mismatch",
-                f"element {idx} {element.notation} expects cells = {entry} "
-                f"but the previous elements leave cells = {state}",
-            ))
-        final = element.final_write_value()
-        if final is not None:
-            state = final
-    return issues
-
-
-def _check_detection_capability(test: MarchTest) -> list[Issue]:
-    issues: list[Issue] = []
-    if test.read_count() == 0:
-        issues.append(Issue(
-            Severity.ERROR,
-            "no-reads",
-            "test performs no reads and therefore cannot detect anything",
-        ))
-        return issues
-    read_values = {op.value for el in test.elements for op in el.reads}
-    if 0 not in read_values:
-        issues.append(Issue(
-            Severity.WARNING,
-            "no-read0",
-            "test never reads 0: stuck-at-1 cells escape",
-        ))
-    if 1 not in read_values:
-        issues.append(Issue(
-            Severity.WARNING,
-            "no-read1",
-            "test never reads 1: stuck-at-0 cells escape",
-        ))
-    if test.transition_count() < 2:
-        issues.append(Issue(
-            Severity.WARNING,
-            "weak-transitions",
-            "test exercises fewer than two write transitions per cell; "
-            "transition faults may escape",
-        ))
-    orders = {el.order for el in test.elements
-              if not isinstance(el, PauseElement)}
-    from repro.march.element import AddressOrder
-
-    if AddressOrder.UP not in orders or AddressOrder.DOWN not in orders:
-        issues.append(Issue(
-            Severity.WARNING,
-            "single-direction",
-            "test marches in only one address direction; address-decoder "
-            "and inter-cell coupling coverage is reduced",
-        ))
-    return issues

@@ -1,0 +1,88 @@
+"""Tests for the PLAN0xx test-plan/stress-suite rule pack."""
+
+from repro.circuit.technology import CMOS018
+from repro.core.testplan import TestPlan
+from repro.lint import Severity, lint_plan
+from repro.stress import (
+    StressCondition,
+    production_conditions,
+    standard_conditions,
+)
+
+
+def codes(report):
+    return [i.rule_id for i in report.issues]
+
+
+class TestCleanInputs:
+    def test_production_suite_clean(self):
+        report = lint_plan(production_conditions(CMOS018), CMOS018)
+        assert report.clean, report.issues
+
+    def test_without_tech_voltage_rules_skip(self):
+        report = lint_plan(standard_conditions(CMOS018))
+        assert "PLAN004" not in codes(report)
+        assert "PLAN005" not in codes(report)
+
+
+class TestRules:
+    def test_plan001_duplicate_conditions(self):
+        conds = dict(production_conditions(CMOS018))
+        conds["Vnom-again"] = StressCondition("Vnom-again",
+                                              CMOS018.vdd_nominal, 100e-9)
+        report = lint_plan(conds, CMOS018)
+        dups = [i for i in report.issues if i.rule_id == "PLAN001"]
+        assert len(dups) == 1
+        assert dups[0].location == "Vnom-again"
+        assert "Vnom" in dups[0].message
+
+    def test_plan002_no_atspeed_leg(self):
+        report = lint_plan(standard_conditions(CMOS018), CMOS018)
+        assert "PLAN002" in codes(report)
+
+    def test_plan002_satisfied_by_fast_corner(self):
+        assert "PLAN002" not in codes(
+            lint_plan(production_conditions(CMOS018), CMOS018))
+
+    def test_plan003_unreachable_target(self):
+        plans = [TestPlan(("VLV",), 1e-3, 0.90, 500.0),
+                 TestPlan(("VLV", "Vmax"), 2e-3, 0.95, 250.0)]
+        report = lint_plan(production_conditions(CMOS018), CMOS018,
+                           plans=plans, target_dpm=100.0)
+        unreachable = [i for i in report.issues if i.rule_id == "PLAN003"]
+        assert len(unreachable) == 1
+        assert unreachable[0].severity is Severity.ERROR
+        assert "VLV+Vmax" in unreachable[0].message
+
+    def test_plan003_reachable_target_clean(self):
+        plans = [TestPlan(("VLV",), 1e-3, 0.99, 50.0)]
+        report = lint_plan(production_conditions(CMOS018), CMOS018,
+                           plans=plans, target_dpm=100.0)
+        assert "PLAN003" not in codes(report)
+
+    def test_plan003_skipped_without_target(self):
+        plans = [TestPlan(("VLV",), 1e-3, 0.90, 500.0)]
+        report = lint_plan(production_conditions(CMOS018), CMOS018,
+                           plans=plans)
+        assert "PLAN003" not in codes(report)
+
+    def test_plan004_missing_vlv_leg(self):
+        report = lint_plan(standard_conditions(CMOS018), CMOS018)
+        assert "PLAN004" in codes(report)
+
+    def test_plan005_overvoltage_condition(self):
+        conds = {"burn": StressCondition("burn", 3.0, 100e-9)}
+        report = lint_plan(conds, CMOS018)
+        over = [i for i in report.issues if i.rule_id == "PLAN005"]
+        assert over and over[0].severity is Severity.ERROR
+
+    def test_plan005_subthreshold_condition(self):
+        conds = {"dead": StressCondition("dead", 0.2, 100e-9)}
+        report = lint_plan(conds, CMOS018)
+        assert any(i.rule_id == "PLAN005" and "threshold" in i.message
+                   for i in report.issues)
+
+    def test_plan006_empty_suite(self):
+        report = lint_plan({}, CMOS018)
+        assert codes(report) == ["PLAN006"]
+        assert report.exit_code() == 2

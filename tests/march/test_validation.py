@@ -70,6 +70,26 @@ class TestWarnings:
         assert validate(MARCH_CM) == []
 
 
+class TestEmptyTest:
+    def test_zero_element_test_reports_error(self):
+        """A test with no elements must error, never validate cleanly.
+
+        The MarchTest constructor forbids empty element lists, but
+        hand-built or deserialised objects can bypass it; the validator
+        must not silently pass them.
+        """
+        t = object.__new__(MarchTest)
+        object.__setattr__(t, "name", "empty")
+        object.__setattr__(t, "elements", ())
+        object.__setattr__(t, "description", "")
+        issues = validate(t)
+        assert issues
+        assert any(i.severity is Severity.ERROR for i in issues)
+        assert not is_valid(t)
+        with pytest.raises(ValueError):
+            assert_valid(t)
+
+
 class TestIssueRendering:
     def test_str_contains_code_and_severity(self):
         issue = validate(make("^(r0)"))[0]

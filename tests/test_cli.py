@@ -67,3 +67,71 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Pareto front" in out
         assert "cheapest plan" in out
+
+
+class TestLintCommand:
+    """Regression tests for the stable 0/1/2 lint exit-code contract."""
+
+    def test_clean_target_exits_zero(self, capsys):
+        assert main(["lint", "march:March C-"]) == 0
+        assert "0 error(s), 0 warning(s)" in capsys.readouterr().out
+
+    def test_warning_target_exits_zero_without_strict(self, capsys):
+        assert main(["lint", "march:MATS"]) == 0
+
+    def test_warning_target_exits_one_with_strict(self, capsys):
+        assert main(["lint", "march:MATS", "--strict"]) == 1
+
+    def test_broken_netlist_exits_two(self, capsys):
+        assert main(["lint", "netlist:demo-broken"]) == 2
+        out = capsys.readouterr().out
+        assert "NET001" in out and "NET003" in out
+
+    def test_broken_netlist_json(self, capsys):
+        import json
+
+        assert main(["lint", "netlist:demo-broken", "--format",
+                     "json"]) == 2
+        doc = json.loads(capsys.readouterr().out)
+        rules = {i["rule"] for i in doc["issues"]}
+        assert {"NET001", "NET003"} <= rules
+        assert doc["summary"]["exit_code"] == 2
+
+    def test_default_targets_are_error_free(self, capsys):
+        assert main(["lint"]) == 0
+
+    def test_suppression_flag(self, capsys):
+        rc = main(["lint", "march:MATS", "--strict",
+                   "--disable", "MARCH008,MARCH009"])
+        assert rc == 0
+
+    def test_unknown_suppression_exits_two(self, capsys):
+        assert main(["lint", "netlist:cell", "--disable", "NET999"]) == 2
+        assert "unknown rule 'NET999'" in capsys.readouterr().err
+
+    def test_strict_errors_still_exit_two(self, capsys):
+        assert main(["lint", "netlist:demo-broken", "--strict"]) == 2
+
+    def test_unknown_target_exits_two(self, capsys):
+        assert main(["lint", "netlist:frobnicate"]) == 2
+        assert "unknown netlist target" in capsys.readouterr().err
+
+    def test_unknown_march_test_exits_two(self, capsys):
+        assert main(["lint", "march:no-such-test"]) == 2
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rid in ("NET001", "MARCH001", "PLAN001"):
+            assert rid in out
+
+    def test_plan_target_with_dpm_gate(self, capsys):
+        rc = main(["lint", "plan:production", "--target-dpm", "1000",
+                   "--samples", "200"])
+        assert rc == 0
+
+    def test_plan_target_unreachable_dpm(self, capsys):
+        rc = main(["lint", "plan:standard", "--target-dpm", "1e-6",
+                   "--samples", "200"])
+        assert rc == 2
+        assert "PLAN003" in capsys.readouterr().out
