@@ -35,6 +35,9 @@ if [ "${STRICT_LINT:-0}" = "1" ]; then
 fi
 python -m repro lint "${lint_flags[@]}" || status=$?
 
+echo "== pytest (chaos / robustness suite) =="
+python -m pytest -q tests/runner || status=$?
+
 echo "== pytest (tier 1) =="
 python -m pytest -x -q || status=$?
 

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Soak gate: loop a short checkpointed campaign under injected faults.
+#
+#   scripts/soak.sh             # pytest -m slow, then 5 chaos CLI rounds
+#   scripts/soak.sh 20          # more rounds
+#
+# Each round runs a small campaign with transient chaos in the
+# behaviour model (rate 0.01, per-round seed), checks its status, then
+# resumes the finished checkpoint and exports the database -- the full
+# run/status/resume/save cycle under fault injection.  Any crash,
+# corrupt checkpoint or inconsistent resume fails the script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+rounds="${1:-5}"
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+echo "== soak: pytest -m slow =="
+python -m pytest -q -m slow tests/runner
+
+echo "== soak: ${rounds} chaos campaign rounds =="
+for i in $(seq 1 "$rounds"); do
+    ck="$workdir/soak-$i.json"
+    echo "-- round $i (chaos seed $i) --"
+    python -m repro campaign run \
+        --rows 16 --columns 2 --bits 4 --sites 40 \
+        --checkpoint "$ck" \
+        --chaos-rate 0.01 --chaos-seed "$i" --max-attempts 4
+    python -m repro campaign status "$ck"
+    python -m repro campaign resume "$ck" --save-db "$workdir/db-$i.json"
+done
+
+echo "soak complete: ${rounds} rounds survived"

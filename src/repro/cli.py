@@ -9,6 +9,9 @@ equivalent front door::
     python -m repro plan --target-dpm 50
     python -m repro report
     python -m repro lint --format json netlist:demo-broken
+    python -m repro campaign run --checkpoint ck.json --sites 2000
+    python -m repro campaign resume ck.json
+    python -m repro campaign status ck.json
 
 Every subcommand prints the same text artefacts the library's
 benchmarks assert on.
@@ -247,6 +250,130 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return combined_exit_code(reports, strict=args.strict)
 
 
+# ----------------------------------------------------------------------
+# repro campaign -- the resilient runner front door
+# ----------------------------------------------------------------------
+def _campaign_tech(name: str):
+    from repro.circuit.technology import CMOS013, CMOS018
+
+    techs = {"cmos018": CMOS018, "cmos013": CMOS013}
+    if name not in techs:
+        raise ValueError(f"unknown technology {name!r} in checkpoint; "
+                         f"choices: {sorted(techs)}")
+    return techs[name]
+
+
+def _campaign_flow_from_meta(meta: dict):
+    """Rebuild the flow and sweep plan a checkpoint fingerprint names."""
+    from repro.core.flow import MemoryTestFlow
+    from repro.defects.models import DefectKind
+    from repro.memory.geometry import MemoryGeometry
+    from repro.runner.campaign import SweepSpec
+    from repro.stress import StressCondition
+
+    geometry = MemoryGeometry(*meta["geometry"])
+    flow = MemoryTestFlow(geometry, _campaign_tech(meta["tech"]),
+                          n_sites=meta["n_sites"], seed=meta["seed"])
+    specs = [
+        SweepSpec.of(
+            DefectKind(sweep["kind"]), sweep["resistances"],
+            [StressCondition(name, vdd, period, temperature)
+             for name, vdd, period, temperature in sweep["conditions"]])
+        for sweep in meta["sweeps"]
+    ]
+    return flow, specs
+
+
+def _campaign_injector(args: argparse.Namespace):
+    if not getattr(args, "chaos_rate", 0.0):
+        return None
+    from repro.runner.chaos import FaultInjector
+
+    return FaultInjector(seed=args.chaos_seed,
+                         rates={"behavior.evaluate": args.chaos_rate})
+
+
+def _campaign_execute(flow, specs, args: argparse.Namespace) -> int:
+    from repro.core.database import CoverageDatabase
+    from repro.runner.chaos import ChaosBehaviorModel
+    from repro.runner.retry import RetryPolicy
+
+    injector = _campaign_injector(args)
+    if injector is not None:
+        flow.campaign.behavior = ChaosBehaviorModel(
+            flow.campaign.behavior, injector)
+    runner = flow.make_runner(
+        args.checkpoint,
+        retry=RetryPolicy(max_attempts=args.max_attempts,
+                          base_delay=0.0, jitter=0.0),
+        fault_hook=injector.check if injector is not None else None)
+    result = runner.run(specs)
+    database = CoverageDatabase(result.records)
+    print(f"campaign complete: {len(result.records)} records "
+          f"({result.resumed_units} units resumed from checkpoint, "
+          f"{result.executed_units} executed)")
+    print(f"quarantined sites: {len(result.quarantine)} "
+          f"(site-evaluation retries: {result.retry_stats.retries})")
+    if injector is not None:
+        stats = injector.stats().get("behavior.evaluate",
+                                     {"calls": 0, "injected": 0})
+        print(f"chaos: {stats['injected']} faults injected over "
+              f"{stats['calls']} evaluations "
+              f"(rate {args.chaos_rate:g}, seed {args.chaos_seed})")
+    if args.checkpoint:
+        print(f"checkpoint: {args.checkpoint}")
+    if args.save_db:
+        database.save(args.save_db)
+        print(f"coverage database written to {args.save_db}")
+    return 0
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    from repro.core.flow import MemoryTestFlow
+    from repro.memory.geometry import MemoryGeometry
+
+    geometry = MemoryGeometry(args.rows, args.columns, args.bits,
+                              args.blocks)
+    flow = MemoryTestFlow(geometry, n_sites=args.sites, seed=args.seed)
+    specs = flow.sweep_specs()
+    return _campaign_execute(flow, specs, args)
+
+
+def _cmd_campaign_resume(args: argparse.Namespace) -> int:
+    from repro.runner.checkpoint import CampaignCheckpoint
+
+    ckpt = CampaignCheckpoint.load(args.checkpoint)
+    if ckpt.recovered_from_temp:
+        print("note: checkpoint recovered from its .tmp sibling "
+              "(crash between write and rename)")
+    flow, specs = _campaign_flow_from_meta(ckpt.meta)
+    return _campaign_execute(flow, specs, args)
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    from repro.runner.checkpoint import CampaignCheckpoint
+    from repro.runner.units import plan_units
+
+    ckpt = CampaignCheckpoint.load(args.checkpoint)
+    _, specs = _campaign_flow_from_meta(ckpt.meta)
+    total = 0
+    for spec in specs:
+        total += len(plan_units(spec.kind, spec.resistances,
+                                spec.conditions, start_index=total))
+    status = ckpt.status(total_units=total)
+    meta = status["meta"]
+    rows, columns, bits, blocks = meta["geometry"]
+    print(f"checkpoint: {args.checkpoint}")
+    print(f"campaign:   {rows}x{columns}x{bits}x{blocks} {meta['tech']} "
+          f"sites={meta['n_sites']} seed={meta['seed']}")
+    print(f"progress:   {status['completed_units']}/{status['total_units']} "
+          f"units complete ({status['remaining_units']} remaining)")
+    print(f"quarantine: {status['quarantined_sites']} site(s)")
+    if status["recovered_from_temp"]:
+        print("note: recovered from the .tmp sibling")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.report import full_report
 
@@ -329,6 +456,54 @@ def build_parser() -> argparse.ArgumentParser:
                    help="march test used by the PLAN003 time/coverage "
                         "model")
     p.set_defaults(func=_cmd_lint)
+
+    p = sub.add_parser(
+        "campaign",
+        help="resilient coverage campaigns: run / resume / status",
+        description="Run IFA coverage campaigns through the resilient "
+                    "runner: crash-safe checkpoints, retry with "
+                    "backoff, per-site quarantine.  See "
+                    "docs/robustness.md.")
+    csub = p.add_subparsers(dest="campaign_command", required=True)
+
+    def _campaign_common(cp, with_checkpoint_flag: bool) -> None:
+        if with_checkpoint_flag:
+            cp.add_argument("--checkpoint", metavar="PATH", default=None,
+                            help="checkpoint file (enables kill/resume)")
+        else:
+            cp.add_argument("checkpoint", metavar="CHECKPOINT",
+                            help="checkpoint file of the campaign")
+        cp.add_argument("--save-db", metavar="PATH",
+                        help="write the coverage database as JSON")
+        cp.add_argument("--max-attempts", type=int, default=3,
+                        help="retry attempts per site evaluation")
+        cp.add_argument("--chaos-rate", type=float, default=0.0,
+                        help="inject behavioural faults at this rate "
+                             "(soak testing; see scripts/soak.sh)")
+        cp.add_argument("--chaos-seed", type=int, default=0,
+                        help="fault-injection seed")
+
+    cp = csub.add_parser("run", help="start a (checkpointed) campaign")
+    cp.add_argument("--rows", type=int, default=512, help="#X rows")
+    cp.add_argument("--columns", type=int, default=16, help="#Y words/row")
+    cp.add_argument("--bits", type=int, default=32, help="#B bits/word")
+    cp.add_argument("--blocks", type=int, default=1, help="#Z blocks")
+    cp.add_argument("--sites", type=int, default=2000,
+                    help="IFA site-population size")
+    cp.add_argument("--seed", type=int, default=2005, help="campaign seed")
+    _campaign_common(cp, with_checkpoint_flag=True)
+    cp.set_defaults(func=_cmd_campaign_run)
+
+    cp = csub.add_parser("resume",
+                         help="continue a killed campaign from its "
+                              "checkpoint")
+    _campaign_common(cp, with_checkpoint_flag=False)
+    cp.set_defaults(func=_cmd_campaign_resume)
+
+    cp = csub.add_parser("status", help="inspect a campaign checkpoint")
+    cp.add_argument("checkpoint", metavar="CHECKPOINT",
+                    help="checkpoint file of the campaign")
+    cp.set_defaults(func=_cmd_campaign_status)
 
     p = sub.add_parser("report", help="full paper-vs-measured report")
     p.add_argument("--sites", type=int, default=4000)

@@ -16,8 +16,39 @@ from __future__ import annotations
 import json
 import math
 from pathlib import Path
+from typing import Any, Callable
 
 from repro.ifa.flow import CoverageRecord
+from repro.runner.atomic import (
+    EnvelopeError,
+    atomic_write_text,
+    temp_path_for,
+    unwrap_envelope,
+    wrap_envelope,
+)
+
+#: Envelope identity of the persisted database format.
+DB_SCHEMA = "repro.coverage-database"
+DB_VERSION = 1
+
+
+class DatabaseCorruptError(RuntimeError):
+    """A coverage-database file exists but cannot be trusted.
+
+    Raised instead of the raw ``JSONDecodeError``/``KeyError`` a corrupt
+    or truncated file used to surface: the message names the file and
+    the specific defect so a shipped database that rotted in transit is
+    diagnosable from the error alone.
+
+    Attributes:
+        path: The offending file.
+        defect: What exactly is wrong with it.
+    """
+
+    def __init__(self, path: str | Path, defect: str) -> None:
+        self.path = Path(path)
+        self.defect = defect
+        super().__init__(f"coverage database {self.path}: {defect}")
 
 
 class CoverageDatabase:
@@ -149,8 +180,23 @@ class CoverageDatabase:
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
-    def save(self, path: str | Path) -> None:
-        payload = [
+    def save(self, path: str | Path,
+             fault_hook: Callable[[str], None] | None = None) -> None:
+        """Durably persist the database.
+
+        Crash-safe: the JSON is written to a sibling temp file, fsynced
+        and atomically renamed over the destination
+        (:func:`repro.runner.atomic.atomic_write_text`), so a crash
+        mid-save can never leave a truncated database behind.  The
+        payload carries a schema version and a SHA-256 checksum that
+        :meth:`load` verifies.
+
+        Args:
+            path: Destination file.
+            fault_hook: Chaos probe threaded into the atomic write
+                (see :mod:`repro.runner.chaos`).
+        """
+        rows = [
             {
                 "kind": r.kind,
                 "resistance": r.resistance,
@@ -159,16 +205,98 @@ class CoverageDatabase:
                 "period": r.period,
                 "detected": r.detected,
                 "total": r.total,
+                "errors": r.errors,
             }
             for r in self._records
         ]
-        Path(path).write_text(json.dumps(payload, indent=1))
+        envelope = wrap_envelope(DB_SCHEMA, DB_VERSION, {"records": rows})
+        atomic_write_text(path, json.dumps(envelope, indent=1,
+                                           sort_keys=True),
+                          fault_hook=fault_hook)
+
+    #: Keys every persisted record row must carry (``errors`` is
+    #: optional for databases written before the resilient runner).
+    _REQUIRED_ROW_KEYS = ("kind", "resistance", "condition", "vdd",
+                          "period", "detected", "total")
+
+    @classmethod
+    def _records_from_rows(cls, path: Path,
+                           rows: Any) -> list[CoverageRecord]:
+        if not isinstance(rows, list):
+            raise DatabaseCorruptError(
+                path, f"expected a list of record rows, "
+                      f"got {type(rows).__name__}")
+        records: list[CoverageRecord] = []
+        for i, row in enumerate(rows):
+            if not isinstance(row, dict):
+                raise DatabaseCorruptError(
+                    path, f"record row {i} is {type(row).__name__}, "
+                          "not an object")
+            missing = [k for k in cls._REQUIRED_ROW_KEYS if k not in row]
+            if missing:
+                raise DatabaseCorruptError(
+                    path, f"record row {i} is missing key(s) "
+                          f"{', '.join(repr(k) for k in missing)}")
+            try:
+                records.append(CoverageRecord(**row))
+            except (TypeError, ValueError) as exc:
+                raise DatabaseCorruptError(
+                    path, f"record row {i} is malformed: {exc}") from exc
+        return records
+
+    @classmethod
+    def _parse(cls, path: Path, text: str) -> "CoverageDatabase":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise DatabaseCorruptError(
+                path, f"invalid/truncated JSON ({exc})") from exc
+        if isinstance(payload, list):
+            # Legacy pre-envelope format: a bare list of record rows.
+            return cls(cls._records_from_rows(path, payload))
+        try:
+            _, body = unwrap_envelope(payload, DB_SCHEMA, DB_VERSION)
+        except EnvelopeError as exc:
+            raise DatabaseCorruptError(path, str(exc)) from exc
+        if "records" not in body:
+            raise DatabaseCorruptError(
+                path, "body is missing the 'records' key")
+        return cls(cls._records_from_rows(path, body["records"]))
 
     @classmethod
     def load(cls, path: str | Path) -> "CoverageDatabase":
-        payload = json.loads(Path(path).read_text())
-        records = [CoverageRecord(**row) for row in payload]
-        return cls(records)
+        """Load and validate a persisted database.
+
+        Accepts both the checksummed envelope written by :meth:`save`
+        and the legacy bare-list format.  When the destination is
+        missing or corrupt but an intact ``.tmp`` sibling survives (a
+        crash between write and rename), the temp file is recovered
+        instead.
+
+        Raises:
+            FileNotFoundError: neither the file nor a recoverable temp
+                sibling exists.
+            DatabaseCorruptError: the file fails JSON parsing, checksum
+                or row validation (the message names path and defect).
+        """
+        path = Path(path)
+        main_error: DatabaseCorruptError | None = None
+        if path.exists():
+            try:
+                return cls._parse(path, path.read_text())
+            except DatabaseCorruptError as exc:
+                main_error = exc
+        tmp = temp_path_for(path)
+        if tmp.exists():
+            try:
+                return cls._parse(tmp, tmp.read_text())
+            except DatabaseCorruptError:
+                pass
+        if main_error is not None:
+            raise main_error
+        raise FileNotFoundError(
+            f"no coverage database at {path} "
+            f"(and no recoverable {tmp.name})")
 
 
 def load_default_database() -> CoverageDatabase:

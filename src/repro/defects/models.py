@@ -152,8 +152,17 @@ class Defect:
             raise ValueError("polarity must be -1 or +1")
 
     def with_resistance(self, resistance: float) -> "Defect":
-        """Copy with a different resistance (for R sweeps)."""
-        return replace(self, resistance=resistance)
+        """Copy with a different resistance (for R sweeps).
+
+        Raises:
+            ValueError: non-positive (or NaN) resistance -- a sweep
+                grid built from a bad axis fails here, at the source,
+                instead of deep inside the behaviour model.
+        """
+        if not resistance > 0:
+            raise ValueError(
+                f"resistance must be positive, got {resistance!r}")
+        return replace(self, resistance=float(resistance))
 
     def __str__(self) -> str:
         return (

@@ -38,6 +38,10 @@ class CoverageRecord:
         period: Clock period of the condition.
         detected: Number of detected sites.
         total: Population size.
+        errors: Sites whose behavioural evaluation kept raising and
+            were quarantined by the runner (see ``docs/robustness.md``);
+            they are counted in neither ``detected`` nor the coverage
+            numerator, so coverage degrades conservatively.
     """
 
     kind: str
@@ -47,6 +51,7 @@ class CoverageRecord:
     period: float
     detected: int
     total: int
+    errors: int = 0
 
     @property
     def coverage(self) -> float:
@@ -98,34 +103,43 @@ class IfaCampaign:
     # ------------------------------------------------------------------
     def run(self, resistances: Sequence[float],
             conditions: Iterable[StressCondition],
-            kind: DefectKind = DefectKind.BRIDGE) -> list[CoverageRecord]:
+            kind: DefectKind = DefectKind.BRIDGE,
+            checkpoint_path=None, runner=None) -> list[CoverageRecord]:
         """Sweep the population over R x conditions.
 
         Every sampled site keeps its identity (class, strength, cell)
         across the sweep, exactly like re-simulating the same extracted
         defect at a different resistance/corner in the paper's flow.
+
+        Execution is chunked through :class:`repro.runner.campaign.
+        CampaignRunner`: one work unit per (R, condition) cell,
+        per-site retry with quarantine, and -- when ``checkpoint_path``
+        is given -- crash-safe persistence so a killed campaign resumes
+        from the last completed unit.
+
+        Args:
+            resistances: Resistance grid (must be non-empty, positive).
+            conditions: Stress conditions (must be non-empty).
+            kind: Defect kind of the sweep.
+            checkpoint_path: Optional checkpoint file enabling
+                kill/resume for this sweep.
+            runner: Pre-configured
+                :class:`~repro.runner.campaign.CampaignRunner` (for
+                custom retry policies, chaos injection or shared
+                checkpoints); overrides ``checkpoint_path``.
+
+        Raises:
+            ValueError: empty ``resistances`` or ``conditions``, or a
+                non-positive resistance -- an empty sweep used to
+                return an empty record list that only broke the
+                estimator much later.
         """
-        population = (self.bridge_population()
-                      if kind is DefectKind.BRIDGE else self.open_population())
-        conditions = list(conditions)
-        records: list[CoverageRecord] = []
-        for r in resistances:
-            variants = [d.with_resistance(float(r)) for d in population]
-            for cond in conditions:
-                detected = sum(
-                    1 for d in variants
-                    if self.behavior.fails_condition(d, cond)
-                )
-                records.append(CoverageRecord(
-                    kind=kind.value,
-                    resistance=float(r),
-                    condition=cond.name,
-                    vdd=cond.vdd,
-                    period=cond.period,
-                    detected=detected,
-                    total=len(variants),
-                ))
-        return records
+        from repro.runner.campaign import CampaignRunner, SweepSpec
+
+        spec = SweepSpec.of(kind, resistances, conditions)
+        if runner is None:
+            runner = CampaignRunner(self, checkpoint_path=checkpoint_path)
+        return runner.run([spec]).records
 
     def run_bridges(self, resistances: Sequence[float],
                     conditions: Iterable[StressCondition],

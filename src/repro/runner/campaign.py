@@ -1,0 +1,309 @@
+"""The resilient campaign runner: interruptible, resumable, fault-tolerant.
+
+Ties the subsystem together.  A campaign -- the paper's long
+one-defect-at-a-time simulation sweep that builds the "database with
+pre-calculated simulation results" (Section 3) -- becomes:
+
+1. **decompose** (:mod:`repro.runner.units`): the R x condition sweep
+   flattens into an ordered list of independent work units;
+2. **evaluate** (:mod:`repro.runner.retry`): each site's behavioural
+   evaluation runs under a retry policy; sites that keep failing are
+   *quarantined* into an error ledger and counted in the emitted
+   record's ``errors`` field -- the campaign degrades gracefully
+   instead of dying on one pathological site;
+3. **persist** (:mod:`repro.runner.checkpoint`): after each completed
+   unit the progress is checkpointed crash-safely, so ``kill -9`` costs
+   at most the unit in flight;
+4. **resume**: re-running against the same checkpoint skips completed
+   units and re-emits their stored payloads, producing records
+   byte-identical to an uninterrupted run (site populations are
+   regenerated deterministically from the campaign seed).
+
+The chaos harness (:mod:`repro.runner.chaos`) plugs into both the
+behaviour model and the checkpoint I/O, so every one of those recovery
+paths is exercised by tests rather than discovered in production.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro.defects.models import Defect, DefectKind
+from repro.ifa.flow import CoverageRecord
+from repro.runner.checkpoint import CampaignCheckpoint
+from repro.runner.retry import (
+    DEFAULT_UNIT_POLICY,
+    RetryExhaustedError,
+    RetryPolicy,
+    RetryStats,
+    run_with_retry,
+)
+from repro.runner.units import WorkUnit, plan_units
+from repro.stress import StressCondition
+
+if TYPE_CHECKING:
+    from repro.ifa.flow import IfaCampaign
+
+
+class UnitDeadlineExceeded(RuntimeError):
+    """A work unit overran the runner's per-unit wall-clock budget.
+
+    Deliberately fatal rather than silently skipping sites: skipping
+    would make the emitted records depend on machine speed.  The
+    checkpoint keeps every completed unit, so the campaign is resumable
+    after the stall's cause is fixed.
+    """
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """One defect kind's share of a campaign (R grid x condition set)."""
+
+    kind: DefectKind
+    resistances: tuple[float, ...]
+    conditions: tuple[StressCondition, ...]
+
+    @classmethod
+    def of(cls, kind: DefectKind, resistances: Sequence[float],
+           conditions: Iterable[StressCondition]) -> "SweepSpec":
+        return cls(kind, tuple(float(r) for r in resistances),
+                   tuple(conditions))
+
+
+@dataclass
+class CampaignResult:
+    """Everything a runner execution produced.
+
+    Attributes:
+        records: Coverage records in plan order (checkpoint-restored
+            units and freshly evaluated ones interleave seamlessly).
+        quarantine: Error-ledger entries accumulated across the whole
+            campaign, including entries restored from the checkpoint.
+        executed_units: Units evaluated in this process.
+        resumed_units: Units restored from the checkpoint.
+        retry_stats: Site-evaluation retry counters for this process.
+    """
+
+    records: list[CoverageRecord]
+    quarantine: list[dict[str, Any]] = field(default_factory=list)
+    executed_units: int = 0
+    resumed_units: int = 0
+    retry_stats: RetryStats = field(default_factory=RetryStats)
+
+    @property
+    def total_errors(self) -> int:
+        return sum(r.errors for r in self.records)
+
+
+def record_to_payload(record: CoverageRecord) -> dict[str, Any]:
+    """JSON payload of a record (the checkpoint/database row format)."""
+    return asdict(record)
+
+
+def record_from_payload(payload: dict[str, Any]) -> CoverageRecord:
+    return CoverageRecord(**payload)
+
+
+def condition_fingerprint(cond: StressCondition) -> list[Any]:
+    return [cond.name, cond.vdd, cond.period, cond.temperature]
+
+
+def sweep_meta(specs: Sequence[SweepSpec]) -> list[dict[str, Any]]:
+    """JSON fingerprint of a sweep plan (for checkpoint matching)."""
+    return [
+        {
+            "kind": spec.kind.value,
+            "resistances": list(spec.resistances),
+            "conditions": [condition_fingerprint(c)
+                           for c in spec.conditions],
+        }
+        for spec in specs
+    ]
+
+
+class CampaignRunner:
+    """Run an :class:`~repro.ifa.flow.IfaCampaign` resiliently.
+
+    Args:
+        campaign: The campaign supplying site populations and the
+            behaviour model.
+        retry: Per-site retry policy (default: three fast attempts, no
+            sleep -- evaluations are in-memory).
+        checkpoint_path: Where to persist progress; ``None`` disables
+            checkpointing (pure in-memory run, still fault-tolerant).
+        checkpoint_every: Persist after every N completed units
+            (1 = maximum durability; raise it to trade durability for
+            checkpoint I/O on huge sweeps).
+        unit_deadline: Optional wall-clock budget per work unit
+            (seconds); exceeding it raises
+            :class:`UnitDeadlineExceeded` after the in-flight site.
+        meta: Extra campaign-fingerprint entries (geometry, CLI args,
+            ...) stored in -- and matched against -- the checkpoint.
+        fault_hook: Chaos probe threaded into checkpoint I/O
+            (typically ``FaultInjector.check``).
+        sleep, clock: Injectable time sources for the retry machinery
+            (tests pass fakes; production uses the real ones).
+    """
+
+    def __init__(self, campaign: "IfaCampaign",
+                 retry: RetryPolicy | None = None,
+                 checkpoint_path: str | Path | None = None,
+                 checkpoint_every: int = 1,
+                 unit_deadline: float | None = None,
+                 meta: dict[str, Any] | None = None,
+                 fault_hook: Callable[[str], None] | None = None,
+                 sleep: Callable[[float], None] = time.sleep,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        if unit_deadline is not None and unit_deadline <= 0:
+            raise ValueError("unit_deadline must be positive")
+        self.campaign = campaign
+        self.retry = retry if retry is not None else DEFAULT_UNIT_POLICY
+        self.checkpoint_path = (Path(checkpoint_path)
+                                if checkpoint_path is not None else None)
+        self.checkpoint_every = checkpoint_every
+        self.unit_deadline = unit_deadline
+        self.extra_meta = dict(meta or {})
+        self.fault_hook = fault_hook
+        self.sleep = sleep
+        self.clock = clock
+        self._populations: dict[DefectKind, list[Defect]] = {}
+
+    # ------------------------------------------------------------------
+    # Plan / fingerprint
+    # ------------------------------------------------------------------
+    def plan(self, specs: Sequence[SweepSpec]) -> list[WorkUnit]:
+        units: list[WorkUnit] = []
+        for spec in specs:
+            units.extend(plan_units(spec.kind, spec.resistances,
+                                    spec.conditions,
+                                    start_index=len(units)))
+        return units
+
+    def meta_for(self, specs: Sequence[SweepSpec]) -> dict[str, Any]:
+        meta: dict[str, Any] = {
+            "n_sites": self.campaign.n_sites,
+            "seed": self.campaign.seed,
+            "sweeps": sweep_meta(specs),
+        }
+        meta.update(self.extra_meta)
+        return meta
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _population(self, kind: DefectKind) -> list[Defect]:
+        if kind not in self._populations:
+            self._populations[kind] = (
+                self.campaign.bridge_population()
+                if kind is DefectKind.BRIDGE
+                else self.campaign.open_population())
+        return self._populations[kind]
+
+    def _load_or_new_checkpoint(
+            self, meta: dict[str, Any]) -> CampaignCheckpoint:
+        if self.checkpoint_path is not None and self.checkpoint_path.exists():
+            ckpt = CampaignCheckpoint.load(self.checkpoint_path)
+            ckpt.ensure_matches(meta)
+            return ckpt
+        return CampaignCheckpoint(meta)
+
+    def run(self, specs: Sequence[SweepSpec]) -> CampaignResult:
+        """Execute (or resume) the campaign described by ``specs``."""
+        units = self.plan(specs)
+        ckpt = self._load_or_new_checkpoint(self.meta_for(specs))
+        result = CampaignResult(records=[],
+                                quarantine=list(ckpt.quarantine))
+        variants_key: tuple[DefectKind, float] | None = None
+        variants: list[Defect] = []
+        dirty = 0
+        for unit in units:
+            if ckpt.is_complete(unit.unit_id):
+                result.records.append(
+                    record_from_payload(ckpt.result_for(unit.unit_id)))
+                result.resumed_units += 1
+                continue
+            key = (unit.kind, unit.resistance)
+            if key != variants_key:
+                variants = [d.with_resistance(unit.resistance)
+                            for d in self._population(unit.kind)]
+                variants_key = key
+            record, entries = self._evaluate_unit(unit, variants,
+                                                  result.retry_stats)
+            result.records.append(record)
+            result.quarantine.extend(entries)
+            result.executed_units += 1
+            ckpt.record_unit(unit.unit_id, record_to_payload(record),
+                             entries)
+            dirty += 1
+            if self.checkpoint_path is not None and (
+                    dirty >= self.checkpoint_every):
+                ckpt.save(self.checkpoint_path, fault_hook=self.fault_hook)
+                dirty = 0
+        if self.checkpoint_path is not None and dirty:
+            ckpt.save(self.checkpoint_path, fault_hook=self.fault_hook)
+        return result
+
+    def _evaluate_unit(self, unit: WorkUnit, variants: Sequence[Defect],
+                       stats: RetryStats,
+                       ) -> tuple[CoverageRecord, list[dict[str, Any]]]:
+        """Evaluate one unit; quarantine sites that keep raising."""
+        behavior = self.campaign.behavior
+        cond = unit.condition
+        started = self.clock()
+        detected = 0
+        entries: list[dict[str, Any]] = []
+        for site_index, defect in enumerate(variants):
+            site_key = f"{unit.unit_id}#site{site_index}"
+            try:
+                if run_with_retry(
+                        lambda d=defect: behavior.fails_condition(d, cond),
+                        self.retry, site_key,
+                        sleep=self.sleep, clock=self.clock, stats=stats):
+                    detected += 1
+            except RetryExhaustedError as exc:
+                entries.append({
+                    "unit_id": unit.unit_id,
+                    "site_index": site_index,
+                    "defect": str(defect),
+                    "attempts": exc.attempts,
+                    "error": f"{type(exc.causes[-1]).__name__}: "
+                             f"{exc.causes[-1]}",
+                    "deadline_hit": exc.deadline_hit,
+                })
+            if (self.unit_deadline is not None
+                    and self.clock() - started > self.unit_deadline):
+                raise UnitDeadlineExceeded(
+                    f"{unit} exceeded its {self.unit_deadline:g}s budget "
+                    f"after {site_index + 1}/{len(variants)} sites; "
+                    "completed units are checkpointed -- fix the stall "
+                    "and resume")
+        record = CoverageRecord(
+            kind=unit.kind.value,
+            resistance=unit.resistance,
+            condition=cond.name,
+            vdd=cond.vdd,
+            period=cond.period,
+            detected=detected,
+            total=len(variants),
+            errors=len(entries),
+        )
+        return record, entries
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def status(self, specs: Sequence[SweepSpec]) -> dict[str, Any]:
+        """Checkpoint progress against this runner's plan."""
+        units = self.plan(specs)
+        if self.checkpoint_path is None or not self.checkpoint_path.exists():
+            return {"completed_units": 0, "total_units": len(units),
+                    "remaining_units": len(units), "quarantined_sites": 0,
+                    "recovered_from_temp": False, "meta": {}}
+        ckpt = CampaignCheckpoint.load(self.checkpoint_path)
+        return ckpt.status(total_units=len(units))

@@ -1,0 +1,157 @@
+"""Deterministic fault injection: rehearse every failure the runner heals.
+
+The resilient runner's recovery paths (retry, quarantine, checkpoint
+recovery) are worthless untested, and real failures are rare and
+unrepeatable.  :class:`FaultInjector` makes them cheap and exactly
+reproducible: code under test calls :meth:`FaultInjector.check` at
+labelled *sites* ("behavior.evaluate", "io.write", ...) and the injector
+decides -- from a seeded RNG and/or an explicit position list -- whether
+that particular call raises.  Same seed, same configuration, same call
+sequence => the same faults, every run; this is what lets the test suite
+assert byte-identical resume after a mid-campaign crash.
+
+Two failure flavours mirror the two things that go wrong in a long
+campaign:
+
+* :class:`InjectedFault` (an ``Exception``) -- a *transient or per-site*
+  error, e.g. a behavioural evaluation blowing up on one pathological
+  site.  The runner retries it and, if persistent, quarantines the site.
+* :class:`InjectedCrash` (a ``BaseException``) -- the process dying:
+  OOM-kill, power loss, ``kill -9``.  Nothing may catch it short of the
+  test harness; surviving it is the checkpoint's job.
+
+Usage::
+
+    inj = FaultInjector(seed=7, rates={"behavior.evaluate": 0.01},
+                        crash_positions={"checkpoint.unit": {3}})
+    model = ChaosBehaviorModel(real_model, inj)
+    runner = CampaignRunner(..., behavior=model,
+                            fault_hook=inj.check)
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import Counter
+from collections.abc import Iterable, Mapping
+
+import numpy as np
+
+from repro.defects.models import Defect
+from repro.stress import StressCondition
+
+
+class InjectedFault(RuntimeError):
+    """A deliberately injected *recoverable* failure (retry/quarantine)."""
+
+
+class InjectedCrash(BaseException):
+    """A deliberately injected process death.
+
+    Derives from ``BaseException`` so no ``except Exception`` recovery
+    path can swallow it -- exactly like SIGKILL, which the production
+    code never sees at all.
+    """
+
+
+class FaultInjector:
+    """Seeded, position-addressable fault source.
+
+    Args:
+        seed: RNG seed; the stochastic stream is deterministic given
+            the seed and the per-site call order.
+        rates: Map of site label -> probability that a call at that
+            site raises :class:`InjectedFault`.
+        positions: Map of site label -> 0-based call indices that raise
+            :class:`InjectedFault` unconditionally (deterministic
+            placement, independent of the RNG).
+        crash_positions: Like ``positions`` but raising
+            :class:`InjectedCrash` -- the simulated ``kill -9``.
+
+    Each site keeps an independent RNG substream (seeded from
+    ``seed`` + the site label) so adding probes at one site never
+    perturbs the fault pattern at another.
+    """
+
+    def __init__(self, seed: int = 0,
+                 rates: Mapping[str, float] | None = None,
+                 positions: Mapping[str, Iterable[int]] | None = None,
+                 crash_positions: Mapping[str, Iterable[int]] | None = None,
+                 ) -> None:
+        self.seed = seed
+        self.rates = dict(rates or {})
+        for site, rate in self.rates.items():
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(
+                    f"rate for site {site!r} must be in [0, 1], got {rate}")
+        self.positions = {s: set(p) for s, p in (positions or {}).items()}
+        self.crash_positions = {
+            s: set(p) for s, p in (crash_positions or {}).items()}
+        self.calls: Counter[str] = Counter()
+        self.injected: Counter[str] = Counter()
+        self._rngs: dict[str, np.random.Generator] = {}
+
+    # ------------------------------------------------------------------
+    def _rng(self, site: str) -> np.random.Generator:
+        if site not in self._rngs:
+            # Stable site key: str.__hash__ is salted per process, which
+            # would desynchronise "same seed, same faults" across runs.
+            site_key = int.from_bytes(
+                hashlib.sha256(site.encode("utf-8")).digest()[:4], "big")
+            self._rngs[site] = np.random.default_rng(
+                np.random.SeedSequence(entropy=self.seed,
+                                       spawn_key=(site_key,)))
+        return self._rngs[site]
+
+    def check(self, site: str) -> None:
+        """Account one call at ``site``; raise if a fault is scheduled.
+
+        Raises:
+            InjectedCrash: the call index is in ``crash_positions``.
+            InjectedFault: the call index is in ``positions``, or the
+                site's RNG draw lands under its configured rate.
+        """
+        index = self.calls[site]
+        self.calls[site] += 1
+        if index in self.crash_positions.get(site, ()):
+            self.injected[site] += 1
+            raise InjectedCrash(f"injected crash at {site}[{index}]")
+        hit = index in self.positions.get(site, ())
+        rate = self.rates.get(site, 0.0)
+        if rate > 0.0 and float(self._rng(site).random()) < rate:
+            hit = True
+        if hit:
+            self.injected[site] += 1
+            raise InjectedFault(f"injected fault at {site}[{index}]")
+
+    def stats(self) -> dict[str, dict[str, int]]:
+        """Per-site call and injection counters (for reports/tests)."""
+        return {
+            site: {"calls": self.calls[site],
+                   "injected": self.injected[site]}
+            for site in sorted(set(self.calls) | set(self.injected))
+        }
+
+
+class ChaosBehaviorModel:
+    """Behaviour-model proxy that fires the injector before evaluating.
+
+    Wraps any object with the :class:`~repro.defects.behavior.
+    DefectBehaviorModel` duck interface; the campaign only calls
+    ``fails_condition``, so that is the probed surface.  Site label:
+    ``behavior.evaluate``.
+    """
+
+    SITE = "behavior.evaluate"
+
+    def __init__(self, inner, injector: FaultInjector) -> None:
+        self.inner = inner
+        self.injector = injector
+
+    def fails_condition(self, defect: Defect,
+                        condition: StressCondition) -> bool:
+        self.injector.check(self.SITE)
+        return self.inner.fails_condition(defect, condition)
+
+    def __getattr__(self, name: str):
+        return getattr(self.inner, name)

@@ -1,10 +1,13 @@
 """Tests for repro.core.database."""
 
+import json
+
 import pytest
 
-from repro.core.database import CoverageDatabase
+from repro.core.database import CoverageDatabase, DatabaseCorruptError
 from repro.defects.distribution import default_bridge_distribution
 from repro.ifa.flow import CoverageRecord
+from repro.runner.atomic import temp_path_for
 
 
 def rec(kind, r, cond, detected, total=100):
@@ -85,6 +88,98 @@ class TestPersistence:
         db.save(path)
         loaded = CoverageDatabase.load(path)
         assert loaded.records == db.records
+
+    def test_save_is_atomic_replace(self, db, tmp_path):
+        path = tmp_path / "coverage.json"
+        path.write_text("old content")
+        db.save(path)
+        assert not temp_path_for(path).exists()
+        assert len(CoverageDatabase.load(path)) == len(db)
+
+    def test_errors_field_roundtrips(self, tmp_path):
+        db = CoverageDatabase([CoverageRecord(
+            "bridge", 1e3, "VLV", 1.0, 1e-7, 90, 100, errors=4)])
+        path = tmp_path / "coverage.json"
+        db.save(path)
+        assert CoverageDatabase.load(path).records[0].errors == 4
+
+    def test_legacy_bare_list_still_loads(self, tmp_path):
+        """Databases written before the envelope format (e.g. the
+        shipped cmos018 file) keep loading; errors defaults to 0."""
+        path = tmp_path / "legacy.json"
+        path.write_text(json.dumps([{
+            "kind": "bridge", "resistance": 1e3, "condition": "VLV",
+            "vdd": 1.8, "period": 1e-7, "detected": 5, "total": 10,
+        }]))
+        loaded = CoverageDatabase.load(path)
+        assert loaded.records[0].detected == 5
+        assert loaded.records[0].errors == 0
+
+
+class TestCorruption:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="no coverage"):
+            CoverageDatabase.load(tmp_path / "absent.json")
+
+    def test_truncated_json_names_path_and_defect(self, db, tmp_path):
+        path = tmp_path / "coverage.json"
+        db.save(path)
+        path.write_text(path.read_text()[:25])
+        with pytest.raises(DatabaseCorruptError,
+                           match="invalid/truncated JSON") as info:
+            CoverageDatabase.load(path)
+        assert str(path) in str(info.value)
+
+    def test_missing_key_is_corruption_not_keyerror(self, tmp_path):
+        path = tmp_path / "coverage.json"
+        path.write_text(json.dumps([{"kind": "bridge",
+                                     "resistance": 1e3}]))
+        with pytest.raises(DatabaseCorruptError,
+                           match=r"row 0 is missing key"):
+            CoverageDatabase.load(path)
+
+    def test_wrong_row_type(self, tmp_path):
+        path = tmp_path / "coverage.json"
+        path.write_text(json.dumps(["not-a-row"]))
+        with pytest.raises(DatabaseCorruptError, match="row 0"):
+            CoverageDatabase.load(path)
+
+    def test_tampered_envelope_fails_checksum(self, db, tmp_path):
+        path = tmp_path / "coverage.json"
+        db.save(path)
+        payload = json.loads(path.read_text())
+        payload["body"]["records"][0]["detected"] = 12345
+        path.write_text(json.dumps(payload))
+        with pytest.raises(DatabaseCorruptError,
+                           match="checksum mismatch"):
+            CoverageDatabase.load(path)
+
+    def test_unexpected_extra_key_is_malformed(self, tmp_path):
+        path = tmp_path / "coverage.json"
+        path.write_text(json.dumps([{
+            "kind": "bridge", "resistance": 1e3, "condition": "VLV",
+            "vdd": 1.8, "period": 1e-7, "detected": 5, "total": 10,
+            "mystery": 1,
+        }]))
+        with pytest.raises(DatabaseCorruptError, match="malformed"):
+            CoverageDatabase.load(path)
+
+    def test_recovery_from_temp_sibling(self, db, tmp_path):
+        """Crash between write and rename: the intact temp rescues."""
+        path = tmp_path / "coverage.json"
+        db.save(path)
+        temp_path_for(path).write_text(path.read_text())
+        path.write_text("{torn")
+        loaded = CoverageDatabase.load(path)
+        assert len(loaded) == len(db)
+
+    def test_corrupt_temp_does_not_mask_error(self, db, tmp_path):
+        path = tmp_path / "coverage.json"
+        db.save(path)
+        path.write_text("{torn")
+        temp_path_for(path).write_text("also torn")
+        with pytest.raises(DatabaseCorruptError):
+            CoverageDatabase.load(path)
 
 
 class TestIncrementalAdd:

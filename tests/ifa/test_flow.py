@@ -63,6 +63,56 @@ class TestCampaignMechanics:
         with pytest.raises(ValueError):
             IfaCampaign(MemoryGeometry(4, 2, 2), CMOS018, n_sites=0)
 
+    def test_coverage_record_errors_default(self):
+        rec = CoverageRecord("bridge", 1e3, "VLV", 1.0, 1e-7, 95, 100)
+        assert rec.errors == 0
+
+
+class TestSweepValidation:
+    """Empty sweeps used to return an empty record list that only broke
+    the estimator much later; now they fail at the source."""
+
+    @pytest.fixture()
+    def small_campaign(self):
+        return IfaCampaign(MemoryGeometry(8, 2, 2), CMOS018, n_sites=20)
+
+    def test_empty_resistances_raises(self, small_campaign,
+                                      table_conditions):
+        with pytest.raises(ValueError, match="no resistances"):
+            small_campaign.run([], table_conditions)
+
+    def test_empty_conditions_raises(self, small_campaign):
+        with pytest.raises(ValueError, match="no stress conditions"):
+            small_campaign.run([1e3], [])
+
+    def test_empty_conditions_iterator_raises(self, small_campaign):
+        with pytest.raises(ValueError, match="no stress conditions"):
+            small_campaign.run([1e3], iter([]))
+
+    def test_non_positive_resistance_raises(self, small_campaign,
+                                            table_conditions):
+        with pytest.raises(ValueError, match="positive"):
+            small_campaign.run([1e3, -5.0], table_conditions)
+
+    def test_with_resistance_rejects_non_positive(self):
+        from repro.defects.models import BridgeSite, bridge
+
+        defect = bridge(BridgeSite.CELL_NODE_RAIL, 1e3)
+        for bad in (0.0, -1.0, float("nan")):
+            with pytest.raises(ValueError, match="positive"):
+                defect.with_resistance(bad)
+
+    def test_checkpointed_run_resumes(self, small_campaign,
+                                      table_conditions, tmp_path):
+        """IfaCampaign.run(checkpoint_path=...) wires the runner in."""
+        ck = tmp_path / "ck.json"
+        first = small_campaign.run([1e3], table_conditions[:1],
+                                   checkpoint_path=ck)
+        assert ck.exists()
+        again = small_campaign.run([1e3], table_conditions[:1],
+                                   checkpoint_path=ck)
+        assert again == first
+
 
 class TestTable1Regression:
     """The paper's Table 1 must be reproduced within sampling noise +

@@ -1,0 +1,1 @@
+"""Tests for the resilient campaign runner (repro.runner)."""

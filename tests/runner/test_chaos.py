@@ -1,0 +1,102 @@
+"""Tests for repro.runner.chaos: deterministic fault injection."""
+
+import pytest
+
+from repro.circuit.technology import CMOS018
+from repro.defects.behavior import DefectBehaviorModel
+from repro.defects.models import BridgeSite, bridge
+from repro.runner.chaos import (
+    ChaosBehaviorModel,
+    FaultInjector,
+    InjectedCrash,
+    InjectedFault,
+)
+from repro.stress import production_conditions
+
+
+def fault_pattern(injector, site, n_calls):
+    """Which of n_calls at ``site`` raise, as a bool list."""
+    pattern = []
+    for _ in range(n_calls):
+        try:
+            injector.check(site)
+            pattern.append(False)
+        except InjectedFault:
+            pattern.append(True)
+    return pattern
+
+
+class TestDeterminism:
+    def test_same_seed_same_faults(self):
+        a = FaultInjector(seed=42, rates={"s": 0.3})
+        b = FaultInjector(seed=42, rates={"s": 0.3})
+        assert fault_pattern(a, "s", 500) == fault_pattern(b, "s", 500)
+
+    def test_different_seed_different_faults(self):
+        a = FaultInjector(seed=1, rates={"s": 0.3})
+        b = FaultInjector(seed=2, rates={"s": 0.3})
+        assert fault_pattern(a, "s", 500) != fault_pattern(b, "s", 500)
+
+    def test_sites_have_independent_streams(self):
+        """Probing one site never perturbs another site's pattern."""
+        a = FaultInjector(seed=7, rates={"x": 0.3, "y": 0.3})
+        b = FaultInjector(seed=7, rates={"x": 0.3, "y": 0.3})
+        fault_pattern(a, "y", 100)  # interleave extra traffic on y
+        assert fault_pattern(a, "x", 200) == fault_pattern(b, "x", 200)
+
+
+class TestConfiguration:
+    def test_zero_rate_never_fires(self):
+        inj = FaultInjector(seed=0, rates={"s": 0.0})
+        assert fault_pattern(inj, "s", 200) == [False] * 200
+
+    def test_rate_one_always_fires(self):
+        inj = FaultInjector(seed=0, rates={"s": 1.0})
+        assert fault_pattern(inj, "s", 50) == [True] * 50
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError, match="rate"):
+            FaultInjector(rates={"s": 1.5})
+
+    def test_positions_fire_exactly(self):
+        inj = FaultInjector(positions={"s": {1, 3}})
+        assert fault_pattern(inj, "s", 5) == [False, True, False, True,
+                                              False]
+
+    def test_unconfigured_site_is_silent(self):
+        inj = FaultInjector(seed=0, rates={"other": 1.0})
+        assert fault_pattern(inj, "s", 20) == [False] * 20
+
+    def test_crash_positions_raise_base_exception(self):
+        inj = FaultInjector(crash_positions={"s": {2}})
+        inj.check("s")
+        inj.check("s")
+        with pytest.raises(InjectedCrash):
+            inj.check("s")
+        # InjectedCrash must NOT be an Exception: recovery code catching
+        # Exception would otherwise swallow the simulated kill -9.
+        assert not issubclass(InjectedCrash, Exception)
+
+    def test_stats_accounting(self):
+        inj = FaultInjector(positions={"s": {0}})
+        fault_pattern(inj, "s", 3)
+        assert inj.stats() == {"s": {"calls": 3, "injected": 1}}
+
+
+class TestChaosBehaviorModel:
+    def test_delegates_and_injects(self):
+        model = DefectBehaviorModel(CMOS018)
+        inj = FaultInjector(positions={"behavior.evaluate": {1}})
+        chaos = ChaosBehaviorModel(model, inj)
+        defect = bridge(BridgeSite.CELL_NODE_RAIL, 1e3)
+        cond = production_conditions(CMOS018)["VLV"]
+        assert chaos.fails_condition(defect, cond) == model.fails_condition(
+            defect, cond)
+        with pytest.raises(InjectedFault):
+            chaos.fails_condition(defect, cond)
+
+    def test_proxies_other_attributes(self):
+        model = DefectBehaviorModel(CMOS018)
+        chaos = ChaosBehaviorModel(model, FaultInjector())
+        assert chaos.tech is model.tech
+        assert chaos.params is model.params

@@ -1,0 +1,144 @@
+"""Tests for repro.runner.checkpoint: durability and recovery."""
+
+import json
+
+import pytest
+
+from repro.runner.atomic import temp_path_for
+from repro.runner.checkpoint import (
+    CampaignCheckpoint,
+    CheckpointCorruptError,
+    CheckpointMismatchError,
+)
+
+META = {"seed": 7, "n_sites": 100, "geometry": [8, 2, 2, 1]}
+
+
+def make_checkpoint():
+    ckpt = CampaignCheckpoint(META)
+    ckpt.record_unit("bridge:1000.0:VLV",
+                     {"kind": "bridge", "detected": 9, "total": 10,
+                      "errors": 1},
+                     quarantine=[{"unit_id": "bridge:1000.0:VLV",
+                                  "site_index": 3, "error": "boom"}])
+    ckpt.record_unit("bridge:1000.0:Vmax",
+                     {"kind": "bridge", "detected": 2, "total": 10,
+                      "errors": 0})
+    return ckpt
+
+
+class TestRoundtrip:
+    def test_save_load(self, tmp_path):
+        path = tmp_path / "ck.json"
+        make_checkpoint().save(path)
+        loaded = CampaignCheckpoint.load(path)
+        assert loaded.meta == META
+        assert loaded.is_complete("bridge:1000.0:VLV")
+        assert not loaded.is_complete("bridge:99.0:VLV")
+        assert loaded.result_for("bridge:1000.0:Vmax")["detected"] == 2
+        assert len(loaded.quarantine) == 1
+        assert not loaded.recovered_from_temp
+
+    def test_incremental_save_replaces(self, tmp_path):
+        path = tmp_path / "ck.json"
+        ckpt = make_checkpoint()
+        ckpt.save(path)
+        ckpt.record_unit("open:5000.0:VLV", {"detected": 1, "total": 10})
+        ckpt.save(path)
+        assert len(CampaignCheckpoint.load(path).completed) == 3
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="no checkpoint"):
+            CampaignCheckpoint.load(tmp_path / "absent.json")
+
+
+class TestCorruption:
+    def test_truncated_json(self, tmp_path):
+        path = tmp_path / "ck.json"
+        make_checkpoint().save(path)
+        path.write_text(path.read_text()[:40])
+        with pytest.raises(CheckpointCorruptError,
+                           match="invalid/truncated JSON") as info:
+            CampaignCheckpoint.load(path)
+        assert str(path) in str(info.value)
+
+    def test_checksum_mismatch(self, tmp_path):
+        path = tmp_path / "ck.json"
+        make_checkpoint().save(path)
+        payload = json.loads(path.read_text())
+        payload["body"]["completed"]["bridge:1000.0:VLV"]["detected"] = 999
+        path.write_text(json.dumps(payload))
+        with pytest.raises(CheckpointCorruptError,
+                           match="checksum mismatch"):
+            CampaignCheckpoint.load(path)
+
+    def test_wrong_schema(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_text(json.dumps({"schema": "other", "version": 1,
+                                    "checksum": "x", "body": {}}))
+        with pytest.raises(CheckpointCorruptError, match="schema"):
+            CampaignCheckpoint.load(path)
+
+    def test_missing_body_key(self, tmp_path):
+        from repro.runner.atomic import wrap_envelope
+        from repro.runner.checkpoint import SCHEMA, VERSION
+
+        path = tmp_path / "ck.json"
+        env = wrap_envelope(SCHEMA, VERSION, {"meta": {},
+                                              "completed": {}})
+        path.write_text(json.dumps(env))
+        with pytest.raises(CheckpointCorruptError,
+                           match="missing the 'quarantine'"):
+            CampaignCheckpoint.load(path)
+
+
+class TestTempRecovery:
+    def test_recovers_when_main_corrupt(self, tmp_path):
+        path = tmp_path / "ck.json"
+        ckpt = make_checkpoint()
+        ckpt.save(path)
+        # Simulate crash-after-fsync-before-rename: intact temp, torn
+        # destination.
+        temp_path_for(path).write_text(path.read_text())
+        path.write_text("{torn")
+        loaded = CampaignCheckpoint.load(path)
+        assert loaded.recovered_from_temp
+        assert loaded.completed == ckpt.completed
+
+    def test_recovers_when_main_missing(self, tmp_path):
+        path = tmp_path / "ck.json"
+        ckpt = make_checkpoint()
+        ckpt.save(temp_path_for(path))
+        loaded = CampaignCheckpoint.load(path)
+        assert loaded.recovered_from_temp
+        assert loaded.completed == ckpt.completed
+
+    def test_corrupt_temp_does_not_mask_main_error(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_text("{torn")
+        temp_path_for(path).write_text("also torn")
+        with pytest.raises(CheckpointCorruptError):
+            CampaignCheckpoint.load(path)
+
+
+class TestFingerprint:
+    def test_matching_meta_accepted(self, tmp_path):
+        path = tmp_path / "ck.json"
+        make_checkpoint().save(path)
+        CampaignCheckpoint.load(path).ensure_matches(dict(META))
+
+    def test_mismatch_names_keys(self, tmp_path):
+        path = tmp_path / "ck.json"
+        make_checkpoint().save(path)
+        other = dict(META, seed=8, extra=True)
+        with pytest.raises(CheckpointMismatchError) as info:
+            CampaignCheckpoint.load(path).ensure_matches(other)
+        assert "seed" in str(info.value) and "extra" in str(info.value)
+
+
+class TestStatus:
+    def test_counts(self):
+        status = make_checkpoint().status(total_units=10)
+        assert status["completed_units"] == 2
+        assert status["remaining_units"] == 8
+        assert status["quarantined_sites"] == 1

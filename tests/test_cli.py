@@ -135,3 +135,52 @@ class TestLintCommand:
                    "--samples", "200"])
         assert rc == 2
         assert "PLAN003" in capsys.readouterr().out
+
+
+class TestCampaign:
+    """The resilient-runner front door: run / resume / status."""
+
+    ARGS = ["--rows", "16", "--columns", "2", "--bits", "4",
+            "--sites", "40", "--seed", "7"]
+
+    def test_run_without_checkpoint(self, capsys):
+        rc = main(["campaign", "run", *self.ARGS])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "campaign complete" in out
+        assert "quarantined sites: 0" in out
+
+    def test_run_status_resume_cycle(self, capsys, tmp_path):
+        ck = str(tmp_path / "ck.json")
+        assert main(["campaign", "run", *self.ARGS,
+                     "--checkpoint", ck]) == 0
+        capsys.readouterr()
+
+        assert main(["campaign", "status", ck]) == 0
+        out = capsys.readouterr().out
+        assert "units complete (0 remaining)" in out
+        assert "16x2x4x1" in out
+
+        db = str(tmp_path / "db.json")
+        assert main(["campaign", "resume", ck, "--save-db", db]) == 0
+        out = capsys.readouterr().out
+        assert "resumed from checkpoint" in out
+
+        from repro.core.database import CoverageDatabase
+
+        assert len(CoverageDatabase.load(db)) > 0
+
+    def test_run_under_chaos_survives(self, capsys):
+        rc = main(["campaign", "run", *self.ARGS,
+                   "--chaos-rate", "0.01", "--chaos-seed", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "chaos:" in out and "faults injected" in out
+
+    def test_status_missing_checkpoint(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["campaign", "status", str(tmp_path / "absent.json")])
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign"])
