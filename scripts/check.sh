@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
-# CI / pre-commit gate: style lint, type check, domain lint, tier-1 tests.
+# CI / pre-commit gate: style lint, type check, domain lint, docs links,
+# benchmark smoke, tier-1 tests.
 #
 #   scripts/check.sh            # full sequence
 #   STRICT_LINT=1 scripts/check.sh   # repro lint treats warnings as errors
 #
 # ruff and mypy are skipped with a notice when not installed (offline
-# images bake only the runtime toolchain); the pytest tier-1 suite and
-# the repro-lint smoke always run.
+# images bake only the runtime toolchain); the pytest tier-1 suite, the
+# repro-lint smoke, the docs link check and the benchmark-schema smoke
+# always run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -34,6 +36,21 @@ if [ "${STRICT_LINT:-0}" = "1" ]; then
     lint_flags+=(--strict)
 fi
 python -m repro lint "${lint_flags[@]}" || status=$?
+
+echo "== docs (dead-link check) =="
+python scripts/check_links.py || status=$?
+
+echo "== docs (public docstrings: repro.runner / repro.perf) =="
+python scripts/check_docstrings.py || status=$?
+
+echo "== benchmark smoke (BENCH_campaign.json schema) =="
+bench_out="$(mktemp /tmp/bench_smoke.XXXXXX.json)"
+python benchmarks/perf/bench_campaign.py --quick --out "$bench_out" \
+    && python benchmarks/perf/bench_campaign.py --validate "$bench_out" \
+    || status=$?
+python benchmarks/perf/bench_campaign.py --validate BENCH_campaign.json \
+    || status=$?
+rm -f "$bench_out"
 
 echo "== pytest (chaos / robustness suite) =="
 python -m pytest -q tests/runner || status=$?

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Docstring gate for the execution layer (repro.runner + repro.perf).
+
+A dependency-free fallback for ruff's pydocstyle ``D`` rules (which are
+configured in ``pyproject.toml`` but only run where ruff is installed):
+walks the two packages' ASTs and fails when a module, public class or
+public function/method lacks a docstring.  ``__init__``/dunders are
+exempt, matching the ruff configuration (D105/D107 ignored; class
+docstrings carry the Args sections in Google style).
+
+Usage::
+
+    python scripts/check_docstrings.py
+
+Run by ``scripts/check.sh`` as part of the docs gate.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+#: Packages whose public API must be documented.
+PACKAGES = ("src/repro/runner", "src/repro/perf")
+
+
+def _missing_in(path: Path, root: Path) -> list[str]:
+    """Missing-docstring problems for one source file."""
+    tree = ast.parse(path.read_text())
+    rel = path.relative_to(root)
+    problems = []
+    if ast.get_docstring(tree) is None:
+        problems.append(f"{rel}:1: module docstring missing")
+
+    def walk(node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if not isinstance(child, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            name = child.name
+            public = not name.startswith("_")
+            qualified = f"{prefix}{name}"
+            if public and ast.get_docstring(child) is None:
+                kind = ("class" if isinstance(child, ast.ClassDef)
+                        else "function")
+                problems.append(f"{rel}:{child.lineno}: {kind} "
+                                f"{qualified!r} docstring missing")
+            if isinstance(child, ast.ClassDef):
+                walk(child, qualified + ".")
+
+    walk(tree, "")
+    return problems
+
+
+def main() -> int:
+    """Entry point; returns a process exit code."""
+    root = Path(__file__).resolve().parents[1]
+    problems: list[str] = []
+    checked = 0
+    for package in PACKAGES:
+        for path in sorted((root / package).rglob("*.py")):
+            checked += 1
+            problems.extend(_missing_in(path, root))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    print(f"check_docstrings: {checked} file(s) checked, "
+          f"{len(problems)} problem(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Dead-link checker for the repository's markdown documentation.
+
+Scans README.md and docs/*.md for relative references -- markdown links
+(``[text](path)``) and backtick-quoted file mentions (`` `docs/x.md` ``)
+-- and fails when a referenced file does not exist.  External URLs and
+pure anchors are ignored.  Also enforces the docs index: every
+``docs/*.md`` file must be reachable from README.md.
+
+Usage::
+
+    python scripts/check_links.py            # check, exit 1 on problems
+    python scripts/check_links.py --verbose  # also list what was checked
+
+Run by ``scripts/check.sh`` as the docs gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+#: Markdown inline links: [text](target), excluding images.
+_MD_LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Backtick-quoted repo paths: `docs/x.md`, `scripts/check.sh` ...
+#: A slash is required so bare module/file mentions (`quickstart.py`,
+#: `EXPERIMENTS.md`) -- which name things relative to contexts the prose
+#: establishes -- do not false-positive.
+_TICK_PATH = re.compile(
+    r"`([A-Za-z0-9_.-]+/[A-Za-z0-9_./-]*\.(?:md|sh|json|py|toml))`")
+
+#: Targets that are not files to resolve.
+_EXTERNAL = ("http://", "https://", "mailto:", "#")
+
+
+def _targets(text: str) -> set[str]:
+    """All checkable relative targets referenced by a markdown text."""
+    found = set(_MD_LINK.findall(text)) | set(_TICK_PATH.findall(text))
+    return {
+        t.split("#", 1)[0]
+        for t in found
+        if not t.startswith(_EXTERNAL) and t.split("#", 1)[0]
+    }
+
+
+def check_file(path: Path, root: Path,
+               verbose: bool = False) -> list[str]:
+    """Return dead-reference problems found in one markdown file.
+
+    Args:
+        path: The markdown file to scan.
+        root: Repository root (targets resolve relative to the file's
+            directory first, then to the root).
+        verbose: Print each checked reference.
+
+    Returns:
+        Problem strings, empty when every reference resolves.
+    """
+    problems = []
+    for target in sorted(_targets(path.read_text())):
+        # Prose references paths relative to the file, the repo root,
+        # the package root and examples/ -- accept any that resolves.
+        resolved = (path.parent / target, root / target,
+                    root / "src" / "repro" / target,
+                    root / "examples" / target)
+        ok = any(p.exists() for p in resolved)
+        if verbose:
+            print(f"  {path.relative_to(root)}: {target} "
+                  f"{'ok' if ok else 'MISSING'}")
+        if not ok:
+            problems.append(
+                f"{path.relative_to(root)}: dead reference {target!r}")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        description="Check markdown docs for dead relative links.")
+    parser.add_argument("--verbose", action="store_true",
+                        help="list every checked reference")
+    args = parser.parse_args(argv)
+
+    root = Path(__file__).resolve().parents[1]
+    files = [root / "README.md", *sorted((root / "docs").glob("*.md"))]
+    problems: list[str] = []
+    for path in files:
+        problems.extend(check_file(path, root, verbose=args.verbose))
+
+    # Index completeness: every docs page must be linked from README.
+    readme_targets = _targets((root / "README.md").read_text())
+    for doc in sorted((root / "docs").glob("*.md")):
+        ref = f"docs/{doc.name}"
+        if ref not in readme_targets:
+            problems.append(
+                f"README.md: docs page {ref} is not linked from the "
+                "documentation index")
+
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    checked = len(files)
+    print(f"check_links: {checked} file(s) checked, "
+          f"{len(problems)} problem(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,7 +10,8 @@ equivalent front door::
     python -m repro report
     python -m repro lint --format json netlist:demo-broken
     python -m repro campaign run --checkpoint ck.json --sites 2000
-    python -m repro campaign resume ck.json
+    python -m repro campaign run --workers 4 --cache cache.json
+    python -m repro campaign resume ck.json --workers 4
     python -m repro campaign status ck.json
 
 Every subcommand prints the same text artefacts the library's
@@ -306,12 +307,16 @@ def _campaign_execute(flow, specs, args: argparse.Namespace) -> int:
         args.checkpoint,
         retry=RetryPolicy(max_attempts=args.max_attempts,
                           base_delay=0.0, jitter=0.0),
+        workers=args.workers, cache=args.cache,
         fault_hook=injector.check if injector is not None else None)
     result = runner.run(specs)
     database = CoverageDatabase(result.records)
     print(f"campaign complete: {len(result.records)} records "
           f"({result.resumed_units} units resumed from checkpoint, "
-          f"{result.executed_units} executed)")
+          f"{result.cached_units} served from cache, "
+          f"{result.executed_units} executed"
+          + (f" across {args.workers} workers" if args.workers > 1 else "")
+          + ")")
     print(f"quarantined sites: {len(result.quarantine)} "
           f"(site-evaluation retries: {result.retry_stats.retries})")
     if injector is not None:
@@ -320,6 +325,11 @@ def _campaign_execute(flow, specs, args: argparse.Namespace) -> int:
         print(f"chaos: {stats['injected']} faults injected over "
               f"{stats['calls']} evaluations "
               f"(rate {args.chaos_rate:g}, seed {args.chaos_seed})")
+    if result.cache_stats is not None:
+        cs = result.cache_stats
+        print(f"cache: {cs['entries']} entries, "
+              f"{cs['hits']} hits / {cs['misses']} misses "
+              f"(hit rate {100 * cs['hit_rate']:.0f} %) -- {args.cache}")
     if args.checkpoint:
         print(f"checkpoint: {args.checkpoint}")
     if args.save_db:
@@ -475,6 +485,13 @@ def build_parser() -> argparse.ArgumentParser:
                             help="checkpoint file of the campaign")
         cp.add_argument("--save-db", metavar="PATH",
                         help="write the coverage database as JSON")
+        cp.add_argument("--workers", type=int, default=1,
+                        help="evaluation processes (1 = serial; results "
+                             "are byte-identical either way)")
+        cp.add_argument("--cache", metavar="PATH", default=None,
+                        help="content-addressed evaluation cache file "
+                             "(skips already-simulated points; see "
+                             "docs/performance.md)")
         cp.add_argument("--max-attempts", type=int, default=3,
                         help="retry attempts per site evaluation")
         cp.add_argument("--chaos-rate", type=float, default=0.0,

@@ -107,14 +107,17 @@ class MemoryTestFlow:
             open_resistances=None,
             yield_fraction: float | None = None,
             checkpoint_path=None,
-            runner: CampaignRunner | None = None) -> FlowResult:
+            runner: CampaignRunner | None = None,
+            workers: int = 1, cache=None) -> FlowResult:
         """Run the full flow and return database + estimator reports.
 
         Both campaigns execute chunked through the resilient runner
         (:mod:`repro.runner`): per-site failures are retried and
         quarantined rather than fatal, and with ``checkpoint_path``
         set, a killed flow resumes from the last completed (R,
-        condition) unit.
+        condition) unit.  ``workers``/``cache`` enable the
+        :mod:`repro.perf` process pool and evaluation cache -- records
+        stay byte-identical either way (``docs/performance.md``).
 
         Args:
             bridge_resistances: R sweep for bridges (defaults to the
@@ -125,11 +128,16 @@ class MemoryTestFlow:
             checkpoint_path: Optional checkpoint file enabling
                 kill/resume of the whole flow.
             runner: Pre-configured runner (chaos injection, custom
-                retry policy); overrides ``checkpoint_path``.
+                retry policy); overrides ``checkpoint_path``,
+                ``workers`` and ``cache``.
+            workers: Evaluation processes (1 = serial).
+            cache: Optional :class:`~repro.perf.cache.EvaluationCache`
+                or cache-file path.
         """
         specs = self.sweep_specs(bridge_resistances, open_resistances)
         if runner is None:
-            runner = self.make_runner(checkpoint_path)
+            runner = self.make_runner(checkpoint_path, workers=workers,
+                                      cache=cache)
         result = runner.run(specs)
         database = CoverageDatabase(result.records)
         estimator = FaultCoverageEstimator(database, density=self.density)

@@ -104,7 +104,8 @@ class IfaCampaign:
     def run(self, resistances: Sequence[float],
             conditions: Iterable[StressCondition],
             kind: DefectKind = DefectKind.BRIDGE,
-            checkpoint_path=None, runner=None) -> list[CoverageRecord]:
+            checkpoint_path=None, runner=None,
+            workers: int = 1, cache=None) -> list[CoverageRecord]:
         """Sweep the population over R x conditions.
 
         Every sampled site keeps its identity (class, strength, cell)
@@ -115,7 +116,11 @@ class IfaCampaign:
         CampaignRunner`: one work unit per (R, condition) cell,
         per-site retry with quarantine, and -- when ``checkpoint_path``
         is given -- crash-safe persistence so a killed campaign resumes
-        from the last completed unit.
+        from the last completed unit.  ``workers`` and ``cache`` feed
+        the :mod:`repro.perf` layer: a process pool over the pending
+        units and a content-addressed cache of already-simulated
+        points, both with byte-identical records
+        (``docs/performance.md``).
 
         Args:
             resistances: Resistance grid (must be non-empty, positive).
@@ -126,7 +131,11 @@ class IfaCampaign:
             runner: Pre-configured
                 :class:`~repro.runner.campaign.CampaignRunner` (for
                 custom retry policies, chaos injection or shared
-                checkpoints); overrides ``checkpoint_path``.
+                checkpoints); overrides ``checkpoint_path``,
+                ``workers`` and ``cache``.
+            workers: Evaluation processes (1 = serial).
+            cache: Optional :class:`~repro.perf.cache.EvaluationCache`
+                or cache-file path.
 
         Raises:
             ValueError: empty ``resistances`` or ``conditions``, or a
@@ -138,7 +147,8 @@ class IfaCampaign:
 
         spec = SweepSpec.of(kind, resistances, conditions)
         if runner is None:
-            runner = CampaignRunner(self, checkpoint_path=checkpoint_path)
+            runner = CampaignRunner(self, checkpoint_path=checkpoint_path,
+                                    workers=workers, cache=cache)
         return runner.run([spec]).records
 
     def run_bridges(self, resistances: Sequence[float],

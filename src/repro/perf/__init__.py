@@ -1,0 +1,39 @@
+"""repro.perf -- the campaign execution-performance layer.
+
+Two independent accelerators for coverage campaigns, both preserving
+byte-identical results:
+
+* :mod:`repro.perf.executor` -- a process-pool work-unit executor
+  fanning the sweep across cores (out-of-order execution, in-order
+  effects);
+* :mod:`repro.perf.cache` -- a content-addressed evaluation cache
+  (keyed by :mod:`repro.perf.fingerprint`) so repeated sweeps skip
+  already-simulated points, mirroring the paper's database of
+  pre-calculated simulation results.
+
+Both plug into :class:`repro.runner.campaign.CampaignRunner` via its
+``workers=`` and ``cache=`` arguments; the benchmark harness lives in
+:mod:`repro.perf.bench`.  See ``docs/performance.md``.
+"""
+
+from repro.perf.cache import EvaluationCache, unit_cache_key
+from repro.perf.executor import ParallelUnitExecutor, chunk_units
+from repro.perf.fingerprint import (
+    FingerprintError,
+    behavior_fingerprint,
+    fingerprint_digest,
+    fingerprint_document,
+    population_fingerprint,
+)
+
+__all__ = [
+    "EvaluationCache",
+    "unit_cache_key",
+    "ParallelUnitExecutor",
+    "chunk_units",
+    "FingerprintError",
+    "behavior_fingerprint",
+    "fingerprint_digest",
+    "fingerprint_document",
+    "population_fingerprint",
+]

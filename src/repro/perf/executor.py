@@ -1,0 +1,166 @@
+"""Process-pool work-unit executor: fan the sweep out across cores.
+
+A coverage campaign is embarrassingly parallel: every (kind, R,
+condition) work unit is independent of every other (the property
+:mod:`repro.runner.units` establishes), so the only serial parts are
+planning and checkpointing.  This module exploits that shape with a
+:class:`concurrent.futures.ProcessPoolExecutor`:
+
+* pending units are split into **contiguous chunks** in plan order --
+  contiguity matters because consecutive units share a (kind, R)
+  variant list, which each worker's
+  :class:`~repro.runner.evaluate.UnitEvaluator` caches;
+* each worker process rebuilds its evaluator once (pool initializer)
+  from a pickled payload, then evaluates whole chunks per task, keeping
+  IPC per unit negligible;
+* the parent consumes chunk results **in submission order**, so
+  downstream consumers (record list, quarantine ledger, checkpoint
+  writes) observe exactly the serial plan order -- out-of-order
+  *execution*, in-order *effects*;
+* results are byte-identical to a serial run because unit evaluation is
+  a pure function of the unit (see :mod:`repro.runner.evaluate`).
+
+Failure semantics match the serial path: a retry-exhausted site is
+quarantined inside the worker; an :class:`InjectedCrash`-style
+``BaseException`` (or a genuinely dying worker, surfacing as
+``BrokenProcessPool``) propagates to the caller, and the checkpointed
+prefix makes the campaign resumable -- with or without workers.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+from collections.abc import Iterator, Sequence
+from typing import Any
+
+from repro.runner.evaluate import UnitEvaluator, UnitOutcome
+from repro.runner.retry import RetryPolicy
+from repro.runner.units import WorkUnit
+
+#: Chunks-per-worker target used when no explicit chunk size is given:
+#: enough chunks that a straggler cannot idle the pool, few enough that
+#: per-chunk dispatch overhead stays negligible.
+DEFAULT_CHUNKS_PER_WORKER = 4
+
+_EVALUATOR: UnitEvaluator | None = None
+
+
+def _init_worker(payload: bytes) -> None:
+    """Pool initializer: rebuild this process's evaluator once."""
+    global _EVALUATOR
+    campaign, retry, unit_deadline = pickle.loads(payload)
+    _EVALUATOR = UnitEvaluator(campaign, retry=retry,
+                               unit_deadline=unit_deadline)
+
+
+def _evaluate_chunk(chunk: list[WorkUnit]) -> list[UnitOutcome]:
+    """Worker task: evaluate one contiguous chunk of work units."""
+    assert _EVALUATOR is not None, "worker initializer did not run"
+    return [_EVALUATOR.evaluate(unit) for unit in chunk]
+
+
+def chunk_units(units: Sequence[WorkUnit], workers: int,
+                chunksize: int | None = None) -> list[list[WorkUnit]]:
+    """Split units into contiguous plan-order chunks.
+
+    Args:
+        units: Pending work units in plan order.
+        workers: Worker-process count (sizes the automatic chunking).
+        chunksize: Explicit units-per-chunk; computed from
+            ``workers`` x :data:`DEFAULT_CHUNKS_PER_WORKER` when
+            omitted.
+
+    Returns:
+        Non-empty contiguous chunks covering ``units`` in order.
+
+    Raises:
+        ValueError: non-positive ``chunksize`` or ``workers``.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if chunksize is None:
+        target = workers * DEFAULT_CHUNKS_PER_WORKER
+        chunksize = max(1, -(-len(units) // target)) if units else 1
+    if chunksize < 1:
+        raise ValueError("chunksize must be >= 1")
+    return [list(units[i:i + chunksize])
+            for i in range(0, len(units), chunksize)]
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """The multiprocessing context used for worker pools.
+
+    Prefers ``fork`` where available (no re-import cost, inherits
+    ``sys.path``); falls back to the platform default elsewhere.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+class ParallelUnitExecutor:
+    """Evaluate work units across a pool of worker processes.
+
+    The executor is handed the same inputs a serial
+    :class:`~repro.runner.evaluate.UnitEvaluator` would receive; it
+    guarantees the same outcomes in the same (plan) order, just faster.
+
+    Args:
+        campaign: The campaign supplying populations and the behaviour
+            model; must be picklable (the stock
+            :class:`~repro.ifa.flow.IfaCampaign` and the chaos wrapper
+            both are).
+        retry: Per-site retry policy forwarded to each worker.
+        unit_deadline: Per-unit wall-clock budget forwarded to each
+            worker (measured on the worker's own monotonic clock).
+        workers: Worker-process count (>= 1).
+        chunksize: Units per pool task; automatic when omitted.
+    """
+
+    def __init__(self, campaign: Any, retry: RetryPolicy | None = None,
+                 unit_deadline: float | None = None, workers: int = 2,
+                 chunksize: int | None = None) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.campaign = campaign
+        self.retry = retry
+        self.unit_deadline = unit_deadline
+        self.workers = workers
+        self.chunksize = chunksize
+
+    def run(self, units: Sequence[WorkUnit]) -> Iterator[UnitOutcome]:
+        """Yield one outcome per unit, in plan order.
+
+        Chunks execute concurrently across the pool; the parent blocks
+        on them in submission order, so the yielded sequence -- and
+        therefore every downstream effect, including checkpoint writes
+        -- is identical to serial execution.
+
+        Args:
+            units: Pending work units in plan order.
+
+        Yields:
+            :class:`~repro.runner.evaluate.UnitOutcome` per unit.
+
+        Raises:
+            BaseException: whatever a worker's evaluation raised
+                (deadline overruns, injected crashes, pool breakage);
+                the consumer's checkpointed prefix stays valid.
+        """
+        from concurrent.futures import ProcessPoolExecutor
+
+        if not units:
+            return
+        payload = pickle.dumps(
+            (self.campaign, self.retry, self.unit_deadline))
+        chunks = chunk_units(units, self.workers, self.chunksize)
+        with ProcessPoolExecutor(max_workers=self.workers,
+                                 mp_context=_pool_context(),
+                                 initializer=_init_worker,
+                                 initargs=(payload,)) as pool:
+            futures = [pool.submit(_evaluate_chunk, chunk)
+                       for chunk in chunks]
+            for future in futures:
+                yield from future.result()

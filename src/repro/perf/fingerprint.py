@@ -1,0 +1,203 @@
+"""Content fingerprints: the identity half of the evaluation cache.
+
+A cached coverage result may be served *only* when every input that
+could change it is provably unchanged.  The paper's "database with
+pre-calculated simulation results" (Section 3) has the same contract:
+the database is valid for one technology, one calibration, one defect
+population -- recalibrate anything and the rows must be regenerated.
+
+This module turns the evaluation inputs into deterministic, canonical
+JSON documents ("fingerprints") that are hashed into cache keys by
+:mod:`repro.perf.cache`:
+
+* :func:`behavior_fingerprint` -- the behavioural model: class identity
+  plus every calibration constant (technology corner, timing model,
+  :class:`~repro.defects.behavior.BehaviorParams`).  Changing a single
+  constant changes the fingerprint, which silently invalidates every
+  cached row computed under the old calibration -- stale results are
+  *unreachable*, not flushed.
+* :func:`population_fingerprint` -- the site population: geometry,
+  extractor configuration, population size, seed and defect kind.
+  Populations are regenerated deterministically from these values, so
+  they identify the population exactly.
+
+Fingerprinting is structural: dataclasses, enums, primitives,
+containers and plain attribute-holding objects are walked recursively.
+Objects that cannot be canonicalised (RNG handles, callables, open
+files...) raise :class:`FingerprintError` -- refusing to cache beats
+serving a result whose provenance cannot be named.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+from typing import Any
+
+from repro.runner.atomic import canonical_json
+
+#: Attribute prefixes skipped when walking plain objects: private state
+#: (memoisation caches, lazily built tables) is derived, not identity.
+_PRIVATE_PREFIX = "_"
+
+
+class FingerprintError(TypeError):
+    """An evaluation input cannot be canonicalised into a fingerprint.
+
+    Raised instead of guessing: a cache keyed on an incomplete
+    fingerprint could serve stale results after the un-fingerprintable
+    part changes.  The message names the offending attribute path.
+    """
+
+
+def fingerprint_document(obj: Any, _path: str = "$",
+                         _seen: frozenset[int] = frozenset()) -> Any:
+    """Convert ``obj`` into a deterministic JSON-serialisable document.
+
+    Supported shapes: ``None``/``bool``/``int``/``float``/``str``,
+    enums (class + value), dataclasses (class + fields), mappings with
+    string keys, sequences, sets (sorted), numpy scalars and arrays,
+    and plain objects (class + public attributes, recursively).
+
+    Args:
+        obj: The value to canonicalise.
+        _path: Attribute path accumulated for error messages.
+        _seen: Object ids on the current recursion path (cycle guard).
+
+    Returns:
+        A JSON-serialisable structure that is equal for equal inputs
+        and differs whenever any reachable public state differs.
+
+    Raises:
+        FingerprintError: ``obj`` (or something reachable from it)
+            cannot be canonicalised, or the structure is cyclic.
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        # repr round-trips exactly; avoids JSON float re-encoding drift.
+        # Coerce first: numpy.float64 subclasses float but reprs as
+        # "np.float64(x)", which would fork the key space.
+        return ["f", repr(float(obj))]
+    if isinstance(obj, enum.Enum):
+        return ["enum", type(obj).__qualname__, obj.value]
+    # numpy scalars/arrays without importing numpy eagerly.
+    item = getattr(obj, "item", None)
+    if item is not None and type(obj).__module__.startswith("numpy"):
+        tolist = getattr(obj, "tolist", None)
+        value = tolist() if tolist is not None else item()
+        return fingerprint_document(value, _path, _seen)
+    if id(obj) in _seen:
+        raise FingerprintError(f"{_path}: cyclic structure "
+                               f"({type(obj).__qualname__})")
+    seen = _seen | {id(obj)}
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = {
+            f.name: fingerprint_document(getattr(obj, f.name),
+                                         f"{_path}.{f.name}", seen)
+            for f in dataclasses.fields(obj)
+        }
+        return ["dc", type(obj).__qualname__, fields]
+    if isinstance(obj, dict):
+        out = {}
+        for key in sorted(obj, key=str):
+            if not isinstance(key, str):
+                raise FingerprintError(
+                    f"{_path}: mapping key {key!r} is not a string")
+            out[key] = fingerprint_document(obj[key], f"{_path}[{key!r}]",
+                                            seen)
+        return out
+    if isinstance(obj, (list, tuple)):
+        return [fingerprint_document(v, f"{_path}[{i}]", seen)
+                for i, v in enumerate(obj)]
+    if isinstance(obj, (set, frozenset)):
+        members = [fingerprint_document(v, f"{_path}{{}}", seen)
+                   for v in obj]
+        return ["set", sorted(members, key=canonical_json)]
+    attrs = getattr(obj, "__dict__", None)
+    if isinstance(attrs, dict):
+        fields = {
+            name: fingerprint_document(value, f"{_path}.{name}", seen)
+            for name, value in sorted(attrs.items())
+            if not name.startswith(_PRIVATE_PREFIX)
+        }
+        return ["obj", type(obj).__qualname__, fields]
+    raise FingerprintError(
+        f"{_path}: cannot fingerprint {type(obj).__qualname__!r} "
+        "(no dataclass fields, no public __dict__); disable the "
+        "evaluation cache for this campaign or make the object "
+        "fingerprintable")
+
+
+def fingerprint_digest(obj: Any) -> str:
+    """SHA-256 hex digest of :func:`fingerprint_document` of ``obj``."""
+    doc = fingerprint_document(obj)
+    return hashlib.sha256(canonical_json(doc).encode("utf-8")).hexdigest()
+
+
+def behavior_fingerprint(model: Any) -> Any:
+    """Fingerprint a behavioural defect model.
+
+    Covers the model's class and its full public state -- for
+    :class:`~repro.defects.behavior.DefectBehaviorModel` that is the
+    technology corner, the timing model and every
+    :class:`~repro.defects.behavior.BehaviorParams` constant.  Wrapper
+    models (chaos proxies, latency models) fingerprint as their own
+    class plus their public configuration, so wrapped and bare models
+    never share cache rows.
+
+    Args:
+        model: Any object with the ``fails_condition`` duck interface.
+
+    Returns:
+        A JSON-serialisable fingerprint document.
+
+    Raises:
+        FingerprintError: the model carries public state that cannot be
+            canonicalised.
+    """
+    return fingerprint_document(model, _path="behavior")
+
+
+def population_fingerprint(campaign: Any, kind: Any) -> Any:
+    """Fingerprint the site population of one campaign + defect kind.
+
+    Populations are sampled deterministically from (extractor
+    configuration, geometry, ``n_sites``, ``seed``, kind), so those
+    values identify the population without materialising it.
+
+    Args:
+        campaign: An :class:`~repro.ifa.flow.IfaCampaign`-shaped object
+            (``geometry``, ``extractor``, ``n_sites``, ``seed``).
+        kind: The :class:`~repro.defects.models.DefectKind` of the
+            population.
+
+    Returns:
+        A JSON-serialisable fingerprint document.
+
+    Raises:
+        FingerprintError: a required attribute is missing or cannot be
+            canonicalised.
+    """
+    try:
+        extractor = campaign.extractor
+        doc = {
+            "campaign": type(campaign).__qualname__,
+            "geometry": fingerprint_document(campaign.geometry,
+                                             "population.geometry"),
+            "n_sites": int(campaign.n_sites),
+            "seed": int(campaign.seed),
+            "kind": fingerprint_document(kind, "population.kind"),
+            "extractor": {
+                "class": type(extractor).__qualname__,
+                "calibrated": bool(getattr(extractor, "calibrated", True)),
+                "layout": type(getattr(extractor, "layout",
+                                       None)).__qualname__,
+            },
+        }
+    except AttributeError as exc:
+        raise FingerprintError(
+            f"population: campaign {type(campaign).__qualname__!r} lacks "
+            f"a required attribute ({exc})") from exc
+    return doc

@@ -13,10 +13,14 @@ resumable and failure-tolerant:
   temp-file recovery and fingerprint matching;
 * :mod:`repro.runner.chaos` -- seeded fault injection exercising every
   recovery path above;
+* :mod:`repro.runner.evaluate` -- the per-unit evaluation core shared
+  by serial and parallel execution;
 * :mod:`repro.runner.campaign` -- the :class:`CampaignRunner`
-  orchestrating all of it (quarantine ledger, graceful degradation).
+  orchestrating all of it (quarantine ledger, graceful degradation,
+  optional worker pool and evaluation cache from :mod:`repro.perf`).
 
-See ``docs/robustness.md`` for the architecture tour.
+See ``docs/robustness.md`` for the architecture tour and
+``docs/performance.md`` for the parallel/caching layer.
 """
 
 from repro.runner.atomic import (
@@ -32,7 +36,11 @@ from repro.runner.campaign import (
     CampaignResult,
     CampaignRunner,
     SweepSpec,
+)
+from repro.runner.evaluate import (
     UnitDeadlineExceeded,
+    UnitEvaluator,
+    UnitOutcome,
 )
 from repro.runner.chaos import (
     ChaosBehaviorModel,
@@ -66,6 +74,8 @@ __all__ = [
     "CampaignRunner",
     "SweepSpec",
     "UnitDeadlineExceeded",
+    "UnitEvaluator",
+    "UnitOutcome",
     "ChaosBehaviorModel",
     "FaultInjector",
     "InjectedCrash",

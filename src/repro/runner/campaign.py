@@ -6,15 +6,20 @@ pre-calculated simulation results" (Section 3) -- becomes:
 
 1. **decompose** (:mod:`repro.runner.units`): the R x condition sweep
    flattens into an ordered list of independent work units;
-2. **evaluate** (:mod:`repro.runner.retry`): each site's behavioural
+2. **evaluate** (:mod:`repro.runner.evaluate`): each site's behavioural
    evaluation runs under a retry policy; sites that keep failing are
    *quarantined* into an error ledger and counted in the emitted
    record's ``errors`` field -- the campaign degrades gracefully
-   instead of dying on one pathological site;
-3. **persist** (:mod:`repro.runner.checkpoint`): after each completed
+   instead of dying on one pathological site.  With ``workers > 1``
+   the pending units fan out across a process pool
+   (:mod:`repro.perf.executor`) with byte-identical results;
+3. **skip** (:mod:`repro.perf.cache`): with an evaluation cache
+   attached, units whose content-addressed key is already cached are
+   served from the cache instead of re-evaluated;
+4. **persist** (:mod:`repro.runner.checkpoint`): after each completed
    unit the progress is checkpointed crash-safely, so ``kill -9`` costs
-   at most the unit in flight;
-4. **resume**: re-running against the same checkpoint skips completed
+   at most the unit (or chunk) in flight;
+5. **resume**: re-running against the same checkpoint skips completed
    units and re-emits their stored payloads, producing records
    byte-identical to an uninterrupted run (site populations are
    regenerated deterministically from the campaign seed).
@@ -27,41 +32,48 @@ paths is exercised by tests rather than discovered in production.
 from __future__ import annotations
 
 import time
-from collections.abc import Callable, Iterable, Sequence
+from collections.abc import Callable, Iterable, Iterator, Sequence
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
-from repro.defects.models import Defect, DefectKind
+from repro.defects.models import DefectKind
 from repro.ifa.flow import CoverageRecord
 from repro.runner.checkpoint import CampaignCheckpoint
-from repro.runner.retry import (
-    DEFAULT_UNIT_POLICY,
-    RetryExhaustedError,
-    RetryPolicy,
-    RetryStats,
-    run_with_retry,
+from repro.runner.evaluate import (
+    UnitDeadlineExceeded,
+    UnitEvaluator,
+    UnitOutcome,
 )
+from repro.runner.retry import RetryPolicy, RetryStats
 from repro.runner.units import WorkUnit, plan_units
 from repro.stress import StressCondition
 
 if TYPE_CHECKING:
     from repro.ifa.flow import IfaCampaign
+    from repro.perf.cache import EvaluationCache
 
-
-class UnitDeadlineExceeded(RuntimeError):
-    """A work unit overran the runner's per-unit wall-clock budget.
-
-    Deliberately fatal rather than silently skipping sites: skipping
-    would make the emitted records depend on machine speed.  The
-    checkpoint keeps every completed unit, so the campaign is resumable
-    after the stall's cause is fixed.
-    """
+__all__ = [
+    "CampaignResult",
+    "CampaignRunner",
+    "SweepSpec",
+    "UnitDeadlineExceeded",
+    "condition_fingerprint",
+    "record_from_payload",
+    "record_to_payload",
+    "sweep_meta",
+]
 
 
 @dataclass(frozen=True)
 class SweepSpec:
-    """One defect kind's share of a campaign (R grid x condition set)."""
+    """One defect kind's share of a campaign (R grid x condition set).
+
+    Attributes:
+        kind: Defect kind of the sweep.
+        resistances: Resistance grid (ohms).
+        conditions: Stress conditions evaluated at every grid point.
+    """
 
     kind: DefectKind
     resistances: tuple[float, ...]
@@ -70,6 +82,7 @@ class SweepSpec:
     @classmethod
     def of(cls, kind: DefectKind, resistances: Sequence[float],
            conditions: Iterable[StressCondition]) -> "SweepSpec":
+        """Build a spec, coercing the grid to floats and tuples."""
         return cls(kind, tuple(float(r) for r in resistances),
                    tuple(conditions))
 
@@ -79,23 +92,31 @@ class CampaignResult:
     """Everything a runner execution produced.
 
     Attributes:
-        records: Coverage records in plan order (checkpoint-restored
-            units and freshly evaluated ones interleave seamlessly).
+        records: Coverage records in plan order (checkpoint-restored,
+            cache-served and freshly evaluated units interleave
+            seamlessly).
         quarantine: Error-ledger entries accumulated across the whole
             campaign, including entries restored from the checkpoint.
-        executed_units: Units evaluated in this process.
+        executed_units: Units evaluated in this process (or its worker
+            pool).
         resumed_units: Units restored from the checkpoint.
-        retry_stats: Site-evaluation retry counters for this process.
+        cached_units: Units served from the evaluation cache.
+        retry_stats: Site-evaluation retry counters for this run.
+        cache_stats: Hit/miss statistics of the evaluation cache
+            (``None`` when no cache was attached).
     """
 
     records: list[CoverageRecord]
     quarantine: list[dict[str, Any]] = field(default_factory=list)
     executed_units: int = 0
     resumed_units: int = 0
+    cached_units: int = 0
     retry_stats: RetryStats = field(default_factory=RetryStats)
+    cache_stats: dict[str, Any] | None = None
 
     @property
     def total_errors(self) -> int:
+        """Total quarantined sites across all emitted records."""
         return sum(r.errors for r in self.records)
 
 
@@ -105,10 +126,12 @@ def record_to_payload(record: CoverageRecord) -> dict[str, Any]:
 
 
 def record_from_payload(payload: dict[str, Any]) -> CoverageRecord:
+    """Rebuild a record from its checkpoint/cache payload."""
     return CoverageRecord(**payload)
 
 
 def condition_fingerprint(cond: StressCondition) -> list[Any]:
+    """JSON fingerprint of one stress condition (checkpoint matching)."""
     return [cond.name, cond.vdd, cond.period, cond.temperature]
 
 
@@ -140,10 +163,23 @@ class CampaignRunner:
             checkpoint I/O on huge sweeps).
         unit_deadline: Optional wall-clock budget per work unit
             (seconds); exceeding it raises
-            :class:`UnitDeadlineExceeded` after the in-flight site.
+            :class:`~repro.runner.evaluate.UnitDeadlineExceeded` after
+            the in-flight site.
+        workers: Evaluation processes.  1 (default) evaluates inline;
+            N > 1 fans pending units out over a process pool
+            (:mod:`repro.perf.executor`) with byte-identical records.
+            The campaign must then be picklable, and the injectable
+            ``sleep``/``clock`` only govern the parent process.
+        chunksize: Units per pool task when ``workers > 1``
+            (automatic when omitted).
+        cache: Evaluation cache -- an
+            :class:`~repro.perf.cache.EvaluationCache` instance, or a
+            path whose cache file is loaded (created on save).  Units
+            already cached for this campaign's exact fingerprint are
+            served without evaluation; see ``docs/performance.md``.
         meta: Extra campaign-fingerprint entries (geometry, CLI args,
             ...) stored in -- and matched against -- the checkpoint.
-        fault_hook: Chaos probe threaded into checkpoint I/O
+        fault_hook: Chaos probe threaded into checkpoint/cache I/O
             (typically ``FaultInjector.check``).
         sleep, clock: Injectable time sources for the retry machinery
             (tests pass fakes; production uses the real ones).
@@ -154,6 +190,9 @@ class CampaignRunner:
                  checkpoint_path: str | Path | None = None,
                  checkpoint_every: int = 1,
                  unit_deadline: float | None = None,
+                 workers: int = 1,
+                 chunksize: int | None = None,
+                 cache: "EvaluationCache | str | Path | None" = None,
                  meta: dict[str, Any] | None = None,
                  fault_hook: Callable[[str], None] | None = None,
                  sleep: Callable[[float], None] = time.sleep,
@@ -162,22 +201,40 @@ class CampaignRunner:
             raise ValueError("checkpoint_every must be >= 1")
         if unit_deadline is not None and unit_deadline <= 0:
             raise ValueError("unit_deadline must be positive")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
         self.campaign = campaign
-        self.retry = retry if retry is not None else DEFAULT_UNIT_POLICY
+        self.retry = retry
         self.checkpoint_path = (Path(checkpoint_path)
                                 if checkpoint_path is not None else None)
         self.checkpoint_every = checkpoint_every
         self.unit_deadline = unit_deadline
+        self.workers = workers
+        self.chunksize = chunksize
+        self.cache, self.cache_path = self._resolve_cache(cache)
         self.extra_meta = dict(meta or {})
         self.fault_hook = fault_hook
         self.sleep = sleep
         self.clock = clock
-        self._populations: dict[DefectKind, list[Defect]] = {}
+
+    @staticmethod
+    def _resolve_cache(cache: "EvaluationCache | str | Path | None",
+                       ) -> "tuple[EvaluationCache | None, Path | None]":
+        """Normalise the ``cache`` argument to (instance, save path)."""
+        if cache is None:
+            return None, None
+        if isinstance(cache, (str, Path)):
+            from repro.perf.cache import EvaluationCache
+
+            path = Path(cache)
+            return EvaluationCache.load(path), path
+        return cache, None
 
     # ------------------------------------------------------------------
     # Plan / fingerprint
     # ------------------------------------------------------------------
     def plan(self, specs: Sequence[SweepSpec]) -> list[WorkUnit]:
+        """Flatten the sweep specs into the ordered unit plan."""
         units: list[WorkUnit] = []
         for spec in specs:
             units.extend(plan_units(spec.kind, spec.resistances,
@@ -186,6 +243,14 @@ class CampaignRunner:
         return units
 
     def meta_for(self, specs: Sequence[SweepSpec]) -> dict[str, Any]:
+        """The campaign fingerprint stored in (and matched against) the
+        checkpoint.
+
+        Execution knobs (workers, chunk size, cache) are deliberately
+        absent: they change how a campaign runs, never what it
+        computes, so a parallel run may resume a serial checkpoint and
+        vice versa.
+        """
         meta: dict[str, Any] = {
             "n_sites": self.campaign.n_sites,
             "seed": self.campaign.seed,
@@ -197,103 +262,135 @@ class CampaignRunner:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def _population(self, kind: DefectKind) -> list[Defect]:
-        if kind not in self._populations:
-            self._populations[kind] = (
-                self.campaign.bridge_population()
-                if kind is DefectKind.BRIDGE
-                else self.campaign.open_population())
-        return self._populations[kind]
-
     def _load_or_new_checkpoint(
             self, meta: dict[str, Any]) -> CampaignCheckpoint:
+        """Load the checkpoint when present and matching, else start new."""
         if self.checkpoint_path is not None and self.checkpoint_path.exists():
             ckpt = CampaignCheckpoint.load(self.checkpoint_path)
             ckpt.ensure_matches(meta)
             return ckpt
         return CampaignCheckpoint(meta)
 
+    def _cache_lookup(self, units: Sequence[WorkUnit],
+                      ckpt: CampaignCheckpoint,
+                      ) -> tuple[dict[str, str], dict[str, dict[str, Any]]]:
+        """Compute cache keys and probe the cache for every open unit.
+
+        Returns:
+            ``(keys, hits)``: unit-id -> cache key for every unit not
+            already in the checkpoint, and unit-id -> payload for the
+            subset the cache already holds.
+        """
+        keys: dict[str, str] = {}
+        hits: dict[str, dict[str, Any]] = {}
+        if self.cache is None:
+            return keys, hits
+        from repro.perf.cache import unit_cache_key
+        from repro.perf.fingerprint import (
+            behavior_fingerprint,
+            population_fingerprint,
+        )
+
+        behavior_doc = behavior_fingerprint(self.campaign.behavior)
+        population_docs: dict[DefectKind, Any] = {}
+        for unit in units:
+            if ckpt.is_complete(unit.unit_id):
+                continue
+            if unit.kind not in population_docs:
+                population_docs[unit.kind] = population_fingerprint(
+                    self.campaign, unit.kind)
+            key = unit_cache_key(behavior_doc, population_docs[unit.kind],
+                                 unit.resistance, unit.condition)
+            keys[unit.unit_id] = key
+            payload = self.cache.get(key)
+            if payload is not None:
+                hits[unit.unit_id] = payload
+        return keys, hits
+
+    def _outcomes(self, pending: Sequence[WorkUnit],
+                  ) -> Iterator[UnitOutcome]:
+        """Evaluate pending units lazily, serially or across the pool."""
+        if self.workers == 1:
+            evaluator = UnitEvaluator(self.campaign, retry=self.retry,
+                                      unit_deadline=self.unit_deadline,
+                                      sleep=self.sleep, clock=self.clock)
+            return (evaluator.evaluate(unit) for unit in pending)
+        from repro.perf.executor import ParallelUnitExecutor
+
+        executor = ParallelUnitExecutor(self.campaign, retry=self.retry,
+                                        unit_deadline=self.unit_deadline,
+                                        workers=self.workers,
+                                        chunksize=self.chunksize)
+        return executor.run(pending)
+
+    def _save_cache(self) -> None:
+        """Persist the cache when it is path-backed and has new entries."""
+        if (self.cache is not None and self.cache_path is not None
+                and self.cache.dirty):
+            self.cache.save(self.cache_path, fault_hook=self.fault_hook)
+
     def run(self, specs: Sequence[SweepSpec]) -> CampaignResult:
-        """Execute (or resume) the campaign described by ``specs``."""
+        """Execute (or resume) the campaign described by ``specs``.
+
+        Units already in the checkpoint are re-emitted; open units are
+        served from the evaluation cache when attached and keyed; the
+        rest are evaluated -- inline, or across the worker pool when
+        ``workers > 1``.  Records, quarantine entries and checkpoint
+        writes always happen in plan order, so every combination of
+        {serial, parallel} x {cold, warm cache} x {fresh, resumed}
+        yields byte-identical records.
+
+        Args:
+            specs: The sweep plan (one spec per defect kind).
+
+        Returns:
+            The assembled :class:`CampaignResult`.
+        """
         units = self.plan(specs)
         ckpt = self._load_or_new_checkpoint(self.meta_for(specs))
         result = CampaignResult(records=[],
                                 quarantine=list(ckpt.quarantine))
-        variants_key: tuple[DefectKind, float] | None = None
-        variants: list[Defect] = []
+        keys, hits = self._cache_lookup(units, ckpt)
+        pending = [u for u in units
+                   if not ckpt.is_complete(u.unit_id)
+                   and u.unit_id not in hits]
+        outcomes = self._outcomes(pending)
         dirty = 0
         for unit in units:
-            if ckpt.is_complete(unit.unit_id):
+            unit_id = unit.unit_id
+            if ckpt.is_complete(unit_id):
                 result.records.append(
-                    record_from_payload(ckpt.result_for(unit.unit_id)))
+                    record_from_payload(ckpt.result_for(unit_id)))
                 result.resumed_units += 1
                 continue
-            key = (unit.kind, unit.resistance)
-            if key != variants_key:
-                variants = [d.with_resistance(unit.resistance)
-                            for d in self._population(unit.kind)]
-                variants_key = key
-            record, entries = self._evaluate_unit(unit, variants,
-                                                  result.retry_stats)
-            result.records.append(record)
-            result.quarantine.extend(entries)
-            result.executed_units += 1
-            ckpt.record_unit(unit.unit_id, record_to_payload(record),
-                             entries)
+            if unit_id in hits:
+                payload = hits[unit_id]
+                result.records.append(record_from_payload(payload))
+                result.cached_units += 1
+                ckpt.record_unit(unit_id, payload)
+            else:
+                outcome = next(outcomes)
+                payload = record_to_payload(outcome.record)
+                result.records.append(outcome.record)
+                result.quarantine.extend(outcome.quarantine)
+                result.executed_units += 1
+                result.retry_stats.merge(outcome.stats)
+                ckpt.record_unit(unit_id, payload, outcome.quarantine)
+                if (self.cache is not None
+                        and outcome.record.errors == 0):
+                    self.cache.put(keys[unit_id], payload)
             dirty += 1
             if self.checkpoint_path is not None and (
                     dirty >= self.checkpoint_every):
                 ckpt.save(self.checkpoint_path, fault_hook=self.fault_hook)
                 dirty = 0
+                self._save_cache()
         if self.checkpoint_path is not None and dirty:
             ckpt.save(self.checkpoint_path, fault_hook=self.fault_hook)
+        self._save_cache()
+        if self.cache is not None:
+            result.cache_stats = self.cache.stats()
         return result
-
-    def _evaluate_unit(self, unit: WorkUnit, variants: Sequence[Defect],
-                       stats: RetryStats,
-                       ) -> tuple[CoverageRecord, list[dict[str, Any]]]:
-        """Evaluate one unit; quarantine sites that keep raising."""
-        behavior = self.campaign.behavior
-        cond = unit.condition
-        started = self.clock()
-        detected = 0
-        entries: list[dict[str, Any]] = []
-        for site_index, defect in enumerate(variants):
-            site_key = f"{unit.unit_id}#site{site_index}"
-            try:
-                if run_with_retry(
-                        lambda d=defect: behavior.fails_condition(d, cond),
-                        self.retry, site_key,
-                        sleep=self.sleep, clock=self.clock, stats=stats):
-                    detected += 1
-            except RetryExhaustedError as exc:
-                entries.append({
-                    "unit_id": unit.unit_id,
-                    "site_index": site_index,
-                    "defect": str(defect),
-                    "attempts": exc.attempts,
-                    "error": f"{type(exc.causes[-1]).__name__}: "
-                             f"{exc.causes[-1]}",
-                    "deadline_hit": exc.deadline_hit,
-                })
-            if (self.unit_deadline is not None
-                    and self.clock() - started > self.unit_deadline):
-                raise UnitDeadlineExceeded(
-                    f"{unit} exceeded its {self.unit_deadline:g}s budget "
-                    f"after {site_index + 1}/{len(variants)} sites; "
-                    "completed units are checkpointed -- fix the stall "
-                    "and resume")
-        record = CoverageRecord(
-            kind=unit.kind.value,
-            resistance=unit.resistance,
-            condition=cond.name,
-            vdd=cond.vdd,
-            period=cond.period,
-            detected=detected,
-            total=len(variants),
-            errors=len(entries),
-        )
-        return record, entries
 
     # ------------------------------------------------------------------
     # Introspection

@@ -150,8 +150,14 @@ class ChaosBehaviorModel:
 
     def fails_condition(self, defect: Defect,
                         condition: StressCondition) -> bool:
+        """Probe the injector, then delegate to the wrapped model."""
         self.injector.check(self.SITE)
         return self.inner.fails_condition(defect, condition)
 
     def __getattr__(self, name: str):
+        # Guard against the unpickling window where __dict__ is still
+        # empty: delegating "inner" then would recurse forever (and kill
+        # pool workers receiving a pickled chaos-wrapped campaign).
+        if "inner" not in self.__dict__:
+            raise AttributeError(name)
         return getattr(self.inner, name)

@@ -94,9 +94,11 @@ class CampaignCheckpoint:
             self.quarantine.extend(dict(q) for q in quarantine)
 
     def is_complete(self, unit_id: str) -> bool:
+        """True when the unit's result is already checkpointed."""
         return unit_id in self.completed
 
     def result_for(self, unit_id: str) -> dict[str, Any]:
+        """The stored record payload of a completed unit (KeyError else)."""
         return self.completed[unit_id]
 
     # ------------------------------------------------------------------

@@ -124,12 +124,36 @@ DEFAULT_UNIT_POLICY = RetryPolicy(max_attempts=3, base_delay=0.0,
 
 @dataclass
 class RetryStats:
-    """Counters accumulated by :func:`run_with_retry` callers."""
+    """Counters accumulated by :func:`run_with_retry` callers.
+
+    Attributes:
+        calls: Number of retry-wrapped calls started.
+        retries: Number of additional attempts made after a failure.
+        exhausted: Calls that failed every attempt (or hit a deadline).
+        errors: Human-readable ``key: ExcType: message`` strings, one
+            per failed attempt, oldest first.
+    """
 
     calls: int = 0
     retries: int = 0
     exhausted: int = 0
     errors: list[str] = field(default_factory=list)
+
+    def merge(self, other: "RetryStats") -> None:
+        """Fold another counter set into this one (in call order).
+
+        Used by the campaign runner to combine per-unit counters --
+        accumulated independently per unit (and per worker process)
+        -- into one campaign-wide tally whose totals and error order
+        match a serial run.
+
+        Args:
+            other: Counters to add; left unmodified.
+        """
+        self.calls += other.calls
+        self.retries += other.retries
+        self.exhausted += other.exhausted
+        self.errors.extend(other.errors)
 
 
 def run_with_retry(fn: Callable[[], T], policy: RetryPolicy, key: str,

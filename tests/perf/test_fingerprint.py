@@ -1,0 +1,142 @@
+"""Tests for repro.perf.fingerprint: stability, sensitivity, refusal."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.technology import CMOS013, CMOS018
+from repro.defects.behavior import BehaviorParams, DefectBehaviorModel
+from repro.defects.models import DefectKind
+from repro.ifa.flow import IfaCampaign
+from repro.memory.geometry import MemoryGeometry
+from repro.perf.fingerprint import (
+    FingerprintError,
+    behavior_fingerprint,
+    fingerprint_digest,
+    fingerprint_document,
+    population_fingerprint,
+)
+from repro.runner.atomic import canonical_json
+
+GEOM = MemoryGeometry(16, 2, 4)
+
+
+def make_campaign(**kwargs):
+    defaults = dict(n_sites=40, seed=11)
+    defaults.update(kwargs)
+    return IfaCampaign(GEOM, CMOS018, **defaults)
+
+
+class TestFingerprintDocument:
+    def test_primitives_pass_through(self):
+        assert fingerprint_document(None) is None
+        assert fingerprint_document(True) is True
+        assert fingerprint_document(3) == 3
+        assert fingerprint_document("x") == "x"
+
+    def test_float_round_trips_exactly(self):
+        doc = fingerprint_document(0.1 + 0.2)
+        assert doc == ["f", repr(0.1 + 0.2)]
+
+    def test_enum_includes_class(self):
+        doc = fingerprint_document(DefectKind.BRIDGE)
+        assert doc == ["enum", "DefectKind", "bridge"]
+
+    def test_numpy_scalars_and_arrays(self):
+        assert fingerprint_document(np.float64(1.5)) == ["f", "1.5"]
+        assert fingerprint_document(np.int64(7)) == 7
+        doc = fingerprint_document(np.array([1.0, 2.0]))
+        assert doc == [["f", "1.0"], ["f", "2.0"]]
+
+    def test_dict_keys_must_be_strings(self):
+        with pytest.raises(FingerprintError, match="not a string"):
+            fingerprint_document({1: "a"})
+
+    def test_set_order_is_canonical(self):
+        a = fingerprint_document({"b", "a", "c"})
+        b = fingerprint_document({"c", "a", "b"})
+        assert a == b
+
+    def test_document_is_json_canonicalisable(self):
+        doc = fingerprint_document(DefectBehaviorModel(CMOS018))
+        canonical_json(doc)  # must not raise
+
+    def test_unfingerprintable_names_path(self):
+        class Holder:
+            def __init__(self):
+                self.rng = np.random.default_rng(0)
+
+        with pytest.raises(FingerprintError, match=r"\$\.rng"):
+            fingerprint_document(Holder())
+
+    def test_cycle_is_refused(self):
+        a = {}
+        a["self"] = a
+        with pytest.raises(FingerprintError, match="cyclic"):
+            fingerprint_document(a)
+
+    def test_private_attributes_are_skipped(self):
+        class WithCache:
+            def __init__(self, x):
+                self.x = x
+                self._memo = object()  # unfingerprintable, but private
+
+        assert (fingerprint_document(WithCache(1))
+                == ["obj", "TestFingerprintDocument.test_private_"
+                    "attributes_are_skipped.<locals>.WithCache", {"x": 1}])
+
+
+class TestBehaviorFingerprint:
+    def test_stable_across_instances(self):
+        a = behavior_fingerprint(DefectBehaviorModel(CMOS018))
+        b = behavior_fingerprint(DefectBehaviorModel(CMOS018))
+        assert canonical_json(a) == canonical_json(b)
+
+    def test_sensitive_to_technology(self):
+        a = behavior_fingerprint(DefectBehaviorModel(CMOS018))
+        b = behavior_fingerprint(DefectBehaviorModel(CMOS013))
+        assert canonical_json(a) != canonical_json(b)
+
+    def test_sensitive_to_calibration_constant(self):
+        base = BehaviorParams()
+        tweaked = BehaviorParams(rail_c=base.rail_c * 1.01)
+        a = behavior_fingerprint(DefectBehaviorModel(CMOS018, params=base))
+        b = behavior_fingerprint(
+            DefectBehaviorModel(CMOS018, params=tweaked))
+        assert canonical_json(a) != canonical_json(b)
+
+
+class TestPopulationFingerprint:
+    def test_stable_across_instances(self):
+        a = population_fingerprint(make_campaign(), DefectKind.BRIDGE)
+        b = population_fingerprint(make_campaign(), DefectKind.BRIDGE)
+        assert canonical_json(a) == canonical_json(b)
+
+    @pytest.mark.parametrize("change", [
+        dict(seed=12), dict(n_sites=41),
+    ])
+    def test_sensitive_to_campaign_knobs(self, change):
+        a = population_fingerprint(make_campaign(), DefectKind.BRIDGE)
+        b = population_fingerprint(make_campaign(**change),
+                                   DefectKind.BRIDGE)
+        assert canonical_json(a) != canonical_json(b)
+
+    def test_sensitive_to_kind(self):
+        campaign = make_campaign()
+        a = population_fingerprint(campaign, DefectKind.BRIDGE)
+        b = population_fingerprint(campaign, DefectKind.OPEN)
+        assert canonical_json(a) != canonical_json(b)
+
+    def test_missing_attribute_raises(self):
+        with pytest.raises(FingerprintError, match="required attribute"):
+            population_fingerprint(object(), DefectKind.BRIDGE)
+
+
+class TestDigest:
+    def test_digest_is_sha256_hex(self):
+        digest = fingerprint_digest({"a": 1})
+        assert len(digest) == 64
+        int(digest, 16)  # hex
+
+    def test_equal_inputs_equal_digests(self):
+        assert (fingerprint_digest(DefectBehaviorModel(CMOS018))
+                == fingerprint_digest(DefectBehaviorModel(CMOS018)))

@@ -162,6 +162,59 @@ class TestKillResume:
         assert resumed.records[0].errors == 1
 
 
+class TestErrorsUnderResume:
+    """Regression tests for docs/robustness.md 'errors under resume':
+    completed units are re-emitted, never re-evaluated, so quarantine
+    outcomes persist across resume even when the failure has healed."""
+
+    def run_degraded_checkpoint(self, tmp_path):
+        """Quarantine site 0 of unit 0, crash before the campaign ends."""
+        ck = tmp_path / "ck.json"
+        inj = FaultInjector(
+            positions={"behavior.evaluate": {0, 1, 2}},
+            crash_positions={"behavior.evaluate": {120}})
+        policy = RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0)
+        with pytest.raises(InjectedCrash):
+            CampaignRunner(make_campaign(inj), retry=policy,
+                           checkpoint_path=ck).run([bridge_spec()])
+        return ck
+
+    def test_healed_model_does_not_clear_errors(self, tmp_path):
+        """Resuming with a healthy model keeps the stored errors count:
+        the record reports the unit's one evaluation, not the world's
+        current state."""
+        ck = self.run_degraded_checkpoint(tmp_path)
+        resumed = CampaignRunner(make_campaign(),  # no injector: healed
+                                 checkpoint_path=ck).run([bridge_spec()])
+        assert resumed.records[0].errors == 1
+        assert resumed.total_errors == 1
+        assert resumed.quarantine[0]["site_index"] == 0
+
+    def test_degraded_unit_is_not_reexecuted_on_resume(self, tmp_path):
+        """The quarantined unit counts as resumed, not executed."""
+        ck = self.run_degraded_checkpoint(tmp_path)
+        resumed = CampaignRunner(make_campaign(),
+                                 checkpoint_path=ck).run([bridge_spec()])
+        assert resumed.resumed_units >= 1
+        # Unit 0 (the degraded one) came from the checkpoint: the
+        # resumed run made no retry calls for its 40 sites.
+        total_sites = sum(r.total for r in resumed.records)
+        executed_sites = resumed.executed_units * N_SITES
+        assert resumed.retry_stats.calls == executed_sites
+        assert executed_sites < total_sites
+
+    def test_fresh_run_reevaluates_where_resume_does_not(self, tmp_path):
+        """Without the checkpoint, a healed model produces errors == 0 —
+        the contrast that makes the resume semantics worth documenting."""
+        ck = self.run_degraded_checkpoint(tmp_path)
+        resumed = CampaignRunner(make_campaign(),
+                                 checkpoint_path=ck).run([bridge_spec()])
+        fresh = CampaignRunner(make_campaign()).run([bridge_spec()])
+        assert resumed.records[0].errors == 1
+        assert fresh.records[0].errors == 0
+        assert fresh.records[0].detected >= resumed.records[0].detected
+
+
 class TestQuarantine:
     def test_persistent_failure_is_quarantined_not_fatal(self):
         # Positions 0..2 exhaust the 3-attempt policy on site 0 of the

@@ -177,6 +177,30 @@ class TestCampaign:
         out = capsys.readouterr().out
         assert "chaos:" in out and "faults injected" in out
 
+    def test_run_with_workers_and_cache(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache.json")
+        rc = main(["campaign", "run", *self.ARGS,
+                   "--workers", "2", "--cache", cache])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "across 2 workers" in out
+        assert "hit rate 0 %" in out
+
+        # Second run: every unit served from the warm cache.
+        assert main(["campaign", "run", *self.ARGS,
+                     "--cache", cache]) == 0
+        out = capsys.readouterr().out
+        assert "0 executed" in out
+        assert "hit rate 100 %" in out
+
+    def test_resume_accepts_workers(self, capsys, tmp_path):
+        ck = str(tmp_path / "ck.json")
+        assert main(["campaign", "run", *self.ARGS,
+                     "--checkpoint", ck]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "resume", ck, "--workers", "2"]) == 0
+        assert "resumed from checkpoint" in capsys.readouterr().out
+
     def test_status_missing_checkpoint(self, tmp_path):
         with pytest.raises(FileNotFoundError):
             main(["campaign", "status", str(tmp_path / "absent.json")])
