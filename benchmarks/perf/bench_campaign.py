@@ -33,7 +33,11 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument("--sites", type=int, default=None,
                         help="override the site-population size")
     parser.add_argument("--workers", type=int, default=None,
-                        help="override the worker count")
+                        help="override the requested worker count (the "
+                             "cpu-bound workload is clamped to "
+                             "min(requested, os.cpu_count()); the "
+                             "latency-bound sim workload keeps the "
+                             "request)")
     parser.add_argument("--sim-latency", type=float, default=None,
                         help="override the per-site simulator latency (s)")
     parser.add_argument("--validate", metavar="PATH", default=None,
@@ -74,7 +78,12 @@ def main(argv: list[str] | None = None) -> int:
           f"{sim['parallel']['units_per_sec']} units/s "
           f"({doc['speedup_parallel']}x at "
           f"{doc['config']['workers']} workers)")
-    print(f"  cpu workload: {doc['speedup_parallel_cpu_bound']}x "
+    cpu = doc["workloads"]["cpu"]
+    clamp_note = (
+        f", clamped from {cpu['parallel']['workers_requested']} requested"
+        if cpu["workers_clamped"] else "")
+    print(f"  cpu workload: {doc['speedup_parallel_cpu_bound']}x at "
+          f"{cpu['parallel']['workers']} worker(s){clamp_note} "
           f"(host has {doc['cpu_count']} CPU(s))")
     print(f"  cache hit rate (warm): "
           f"{100 * doc['cache_hit_rate']:.0f} %")

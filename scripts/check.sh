@@ -52,6 +52,32 @@ python benchmarks/perf/bench_campaign.py --validate BENCH_campaign.json \
     || status=$?
 rm -f "$bench_out"
 
+echo "== benchmark smoke (BENCH_frontier.json schema + reduction floors) =="
+frontier_out="$(mktemp /tmp/frontier_smoke.XXXXXX.json)"
+python benchmarks/perf/bench_frontier.py --quick --out "$frontier_out" \
+    && python benchmarks/perf/bench_frontier.py --validate "$frontier_out" \
+    || status=$?
+python benchmarks/perf/bench_frontier.py --validate BENCH_frontier.json \
+    || status=$?
+rm -f "$frontier_out"
+
+echo "== fast-path equivalence markers =="
+# Every guarded fast path must name the test file that proves it
+# byte-identical to its exact path -- and that file must exist.
+for module in src/repro/perf/frontier.py src/repro/tester/shmoo.py; do
+    marker="$(grep -o 'Exact-path equivalence: [^ ]*' "$module" || true)"
+    if [ -z "$marker" ]; then
+        echo "$module: missing 'Exact-path equivalence: <test file>' marker"
+        status=1
+        continue
+    fi
+    test_file="${marker#Exact-path equivalence: }"
+    if [ ! -f "$test_file" ]; then
+        echo "$module: equivalence test '$test_file' does not exist"
+        status=1
+    fi
+done
+
 echo "== pytest (chaos / robustness suite) =="
 python -m pytest -q tests/runner || status=$?
 

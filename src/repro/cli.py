@@ -86,8 +86,17 @@ def _cmd_shmoo(args: argparse.Namespace) -> int:
     title = (f"{args.defect} R={args.resistance:g} ohm" if args.defect
              else "fault-free")
     plot = runner.run(sram, defects, default_voltage_axis(),
-                      default_period_axis(), title)
+                      default_period_axis(), title,
+                      strategy=args.strategy)
     print(plot.render())
+    stats = runner.last_stats
+    if stats is not None and args.strategy == "boundary":
+        print(f"boundary trace: {stats.tester_invocations} tester "
+              f"invocations for {stats.grid_cells} cells "
+              f"({stats.crosscheck_invocations} on the consistency "
+              "sample"
+              + (", exact refill triggered" if stats.fallback else "")
+              + ")")
     return 0
 
 
@@ -303,11 +312,17 @@ def _campaign_execute(flow, specs, args: argparse.Namespace) -> int:
     if injector is not None:
         flow.campaign.behavior = ChaosBehaviorModel(
             flow.campaign.behavior, injector)
+    strategy = getattr(args, "strategy", "exact")
+    if strategy == "frontier" and args.workers > 1:
+        print("--strategy frontier is serial; drop --workers "
+              "(its group tables already shrink the work the pool "
+              "would parallelise)", file=sys.stderr)
+        return 2
     runner = flow.make_runner(
         args.checkpoint,
         retry=RetryPolicy(max_attempts=args.max_attempts,
                           base_delay=0.0, jitter=0.0),
-        workers=args.workers, cache=args.cache,
+        workers=args.workers, cache=args.cache, strategy=strategy,
         fault_hook=injector.check if injector is not None else None)
     result = runner.run(specs)
     database = CoverageDatabase(result.records)
@@ -325,6 +340,15 @@ def _campaign_execute(flow, specs, args: argparse.Namespace) -> int:
         print(f"chaos: {stats['injected']} faults injected over "
               f"{stats['calls']} evaluations "
               f"(rate {args.chaos_rate:g}, seed {args.chaos_seed})")
+    if result.frontier_stats is not None:
+        fs = result.frontier_stats
+        print(f"frontier: {fs['model_invocations']} model invocations "
+              f"over {fs['groups']} derived groups "
+              f"({fs['cached_groups']} cached, "
+              f"{fs['analytic_sites']} analytic / "
+              f"{fs['bisection_sites']} bisected / "
+              f"{fs['exact_sites'] + fs['demoted_sites']} exact sites, "
+              f"{fs['crosscheck_mismatches']} cross-check mismatches)")
     if result.cache_stats is not None:
         cs = result.cache_stats
         print(f"cache: {cs['entries']} entries, "
@@ -419,6 +443,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--resistance", type=float, default=240e3,
                    help="defect resistance in ohms")
     p.add_argument("--test", default="11N", help="march test name")
+    p.add_argument("--strategy", choices=("exact", "boundary"),
+                   default="exact",
+                   help="grid fill: test every cell, or trace the "
+                        "pass/fail boundary by bisection (identical "
+                        "plot, far fewer tester invocations; see "
+                        "docs/performance.md)")
     p.set_defaults(func=_cmd_shmoo)
 
     p = sub.add_parser("venn",
@@ -492,6 +522,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="content-addressed evaluation cache file "
                              "(skips already-simulated points; see "
                              "docs/performance.md)")
+        cp.add_argument("--strategy", choices=("exact", "frontier"),
+                        default="exact",
+                        help="unit evaluation: exact per-site sweep, or "
+                             "the monotone-frontier threshold solver "
+                             "(byte-identical records, far fewer model "
+                             "invocations; serial only)")
         cp.add_argument("--max-attempts", type=int, default=3,
                         help="retry attempts per site evaluation")
         cp.add_argument("--chaos-rate", type=float, default=0.0,

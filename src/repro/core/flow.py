@@ -108,7 +108,8 @@ class MemoryTestFlow:
             yield_fraction: float | None = None,
             checkpoint_path=None,
             runner: CampaignRunner | None = None,
-            workers: int = 1, cache=None) -> FlowResult:
+            workers: int = 1, cache=None,
+            strategy: str = "exact") -> FlowResult:
         """Run the full flow and return database + estimator reports.
 
         Both campaigns execute chunked through the resilient runner
@@ -129,15 +130,18 @@ class MemoryTestFlow:
                 kill/resume of the whole flow.
             runner: Pre-configured runner (chaos injection, custom
                 retry policy); overrides ``checkpoint_path``,
-                ``workers`` and ``cache``.
+                ``workers``, ``cache`` and ``strategy``.
             workers: Evaluation processes (1 = serial).
             cache: Optional :class:`~repro.perf.cache.EvaluationCache`
                 or cache-file path.
+            strategy: ``"exact"`` or ``"frontier"`` -- the monotone
+                threshold sweep solver (:mod:`repro.perf.frontier`);
+                records are byte-identical either way.
         """
         specs = self.sweep_specs(bridge_resistances, open_resistances)
         if runner is None:
             runner = self.make_runner(checkpoint_path, workers=workers,
-                                      cache=cache)
+                                      cache=cache, strategy=strategy)
         result = runner.run(specs)
         database = CoverageDatabase(result.records)
         estimator = FaultCoverageEstimator(database, density=self.density)

@@ -105,7 +105,8 @@ class IfaCampaign:
             conditions: Iterable[StressCondition],
             kind: DefectKind = DefectKind.BRIDGE,
             checkpoint_path=None, runner=None,
-            workers: int = 1, cache=None) -> list[CoverageRecord]:
+            workers: int = 1, cache=None,
+            strategy: str = "exact") -> list[CoverageRecord]:
         """Sweep the population over R x conditions.
 
         Every sampled site keeps its identity (class, strength, cell)
@@ -132,10 +133,13 @@ class IfaCampaign:
                 :class:`~repro.runner.campaign.CampaignRunner` (for
                 custom retry policies, chaos injection or shared
                 checkpoints); overrides ``checkpoint_path``,
-                ``workers`` and ``cache``.
+                ``workers``, ``cache`` and ``strategy``.
             workers: Evaluation processes (1 = serial).
             cache: Optional :class:`~repro.perf.cache.EvaluationCache`
                 or cache-file path.
+            strategy: ``"exact"`` or ``"frontier"`` -- the monotone
+                threshold sweep solver (:mod:`repro.perf.frontier`);
+                records are byte-identical either way.
 
         Raises:
             ValueError: empty ``resistances`` or ``conditions``, or a
@@ -148,7 +152,8 @@ class IfaCampaign:
         spec = SweepSpec.of(kind, resistances, conditions)
         if runner is None:
             runner = CampaignRunner(self, checkpoint_path=checkpoint_path,
-                                    workers=workers, cache=cache)
+                                    workers=workers, cache=cache,
+                                    strategy=strategy)
         return runner.run([spec]).records
 
     def run_bridges(self, resistances: Sequence[float],

@@ -11,12 +11,25 @@ byte-identical results:
   already-simulated points, mirroring the paper's database of
   pre-calculated simulation results.
 
-Both plug into :class:`repro.runner.campaign.CampaignRunner` via its
-``workers=`` and ``cache=`` arguments; the benchmark harness lives in
-:mod:`repro.perf.bench`.  See ``docs/performance.md``.
+A third accelerator changes the *amount* of work instead of its
+schedule: :mod:`repro.perf.frontier` exploits the paper's monotone
+detection frontiers to answer a sweep's whole R axis from one threshold
+pass per (site, condition) -- guarded by cross-check sampling and
+per-site exact fallback so the records stay byte-identical
+(``CampaignRunner(strategy="frontier")``).
+
+All plug into :class:`repro.runner.campaign.CampaignRunner` via its
+``workers=``, ``cache=`` and ``strategy=`` arguments; the benchmark
+harnesses live in :mod:`repro.perf.bench` and
+:mod:`repro.perf.frontier_bench`.  See ``docs/performance.md``.
 """
 
-from repro.perf.cache import EvaluationCache, unit_cache_key
+from repro.perf.cache import (
+    EvaluationCache,
+    frontier_cache_key,
+    unit_cache_key,
+)
+from repro.perf.counting import CountingBehaviorModel, CountingTester
 from repro.perf.executor import ParallelUnitExecutor, chunk_units
 from repro.perf.fingerprint import (
     FingerprintError,
@@ -25,10 +38,18 @@ from repro.perf.fingerprint import (
     fingerprint_document,
     population_fingerprint,
 )
+from repro.perf.frontier import (
+    FrontierPolicy,
+    FrontierStats,
+    FrontierUnitEvaluator,
+)
 
 __all__ = [
     "EvaluationCache",
+    "frontier_cache_key",
     "unit_cache_key",
+    "CountingBehaviorModel",
+    "CountingTester",
     "ParallelUnitExecutor",
     "chunk_units",
     "FingerprintError",
@@ -36,4 +57,7 @@ __all__ = [
     "fingerprint_digest",
     "fingerprint_document",
     "population_fingerprint",
+    "FrontierPolicy",
+    "FrontierStats",
+    "FrontierUnitEvaluator",
 ]

@@ -1,0 +1,105 @@
+"""Invocation-counting wrappers: speedup claims as call-count facts.
+
+Wall-clock timings are machine- and load-dependent; invocation counts
+are not.  These wrappers let benchmarks and tests assert the frontier
+fast paths (:mod:`repro.perf.frontier`, the boundary-traced shmoo in
+:mod:`repro.tester.shmoo`) as *deterministic call-count inequalities*
+-- "the frontier sweep issued 5x fewer ``fails_condition`` calls" --
+instead of flaky timing comparisons.
+
+Both wrappers are transparent: they delegate every evaluation verbatim
+(records and grids stay byte-identical to unwrapped runs) and keep
+their counters in underscore-prefixed attributes, which the structural
+fingerprinting of :mod:`repro.perf.fingerprint` skips -- so counting a
+campaign does not fork its cache-key space beyond the wrapper class
+name itself.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["CountingBehaviorModel", "CountingTester"]
+
+
+class CountingBehaviorModel:
+    """A behaviour model that counts its evaluation calls.
+
+    Counts ``fails_condition`` and ``manifestation`` calls (the two
+    evaluation entry points); frontier declarations
+    (``resistance_frontier`` / ``resistance_monotonicity``) delegate
+    *uncounted* -- they are capability probes, not evaluations, and the
+    whole point of the frontier solver is that a declaration replaces
+    many evaluations.  Other attributes delegate transparently, so the
+    wrapper composes with any model exposing the duck interface.
+
+    Args:
+        inner: The behaviour model to wrap.
+    """
+
+    def __init__(self, inner: Any) -> None:
+        self.inner = inner
+        self._calls = 0
+
+    @property
+    def calls(self) -> int:
+        """Evaluation calls issued through this wrapper so far."""
+        return self._calls
+
+    def reset(self) -> None:
+        """Zero the call counter."""
+        self._calls = 0
+
+    def fails_condition(self, defect: Any, condition: Any) -> bool:
+        """Counted delegation to the inner model's fast predicate."""
+        self._calls += 1
+        return self.inner.fails_condition(defect, condition)
+
+    def manifestation(self, defect: Any, condition: Any) -> Any:
+        """Counted delegation to the inner model's full evaluation."""
+        self._calls += 1
+        return self.inner.manifestation(defect, condition)
+
+    def __getattr__(self, name: str) -> Any:
+        """Uncounted delegation of everything else (declarations,
+        calibration attributes, analytic helpers)."""
+        if name == "inner":
+            raise AttributeError(name)
+        return getattr(self.inner, name)
+
+
+class CountingTester:
+    """A virtual tester that counts ``test_device`` invocations.
+
+    The shmoo benchmark's unit of cost is one tester invocation (one
+    march-test execution at one grid point); this wrapper makes that
+    count observable from outside the runner, so tests can verify the
+    runner's self-reported statistics against an independent tally.
+
+    Args:
+        inner: The :class:`~repro.tester.ate.VirtualTester` to wrap.
+    """
+
+    def __init__(self, inner: Any) -> None:
+        self.inner = inner
+        self._calls = 0
+
+    @property
+    def calls(self) -> int:
+        """``test_device`` calls issued through this wrapper so far."""
+        return self._calls
+
+    def reset(self) -> None:
+        """Zero the call counter."""
+        self._calls = 0
+
+    def test_device(self, *args: Any, **kwargs: Any) -> Any:
+        """Counted delegation to the inner tester."""
+        self._calls += 1
+        return self.inner.test_device(*args, **kwargs)
+
+    def __getattr__(self, name: str) -> Any:
+        """Uncounted delegation of everything else."""
+        if name == "inner":
+            raise AttributeError(name)
+        return getattr(self.inner, name)

@@ -1,0 +1,560 @@
+"""Monotone-frontier sweep solver: thresholds once, comparisons forever.
+
+The campaign sweep asks the behaviour model the same structural
+question |R| times per (site, condition): *is this site detected at
+resistance R?*  But the paper's physics makes the answer monotone in R
+(Section 4.1, Figure 8) -- a bridge is detected at or below a critical
+resistance, an open at or above a threshold -- so the whole R axis of
+one (site, condition) pair is characterised by a single frontier.  This
+module exploits that:
+
+1. per (kind, condition) group, each site's detection row over the
+   sweep's resistance grid is derived **once** -- from the model's
+   closed-form :meth:`~repro.defects.behavior.DefectBehaviorModel.
+   resistance_frontier` when available (zero model calls), else by
+   bisecting ``fails_condition`` over the grid under the declared
+   :meth:`~repro.defects.behavior.DefectBehaviorModel.
+   resistance_monotonicity` (O(log |R|) calls);
+2. every work unit of the group then answers by table lookup.
+
+**Exactness is guarded, not assumed.**  Frontier predicates replicate
+the exact model's float arithmetic, and three fallbacks demote a site
+to plain per-unit exact evaluation: the model declares no frontier and
+no monotonicity; an analytic frontier's derived row is not monotone in
+the declared orientation; or a seeded cross-check sample of (site, R)
+cells -- re-evaluated through ``fails_condition`` -- disagrees with the
+derived row.  A demoted site is evaluated exactly for every unit, so
+the emitted records are byte-identical to the exact path either way.
+
+Exact-path equivalence: tests/perf/test_frontier.py
+
+Derived group tables are content-addressed into the evaluation cache
+(:func:`repro.perf.cache.frontier_cache_key`) alongside unit payloads,
+so repeated frontier campaigns skip even the threshold pass.
+
+Caveat (chaos harness): :class:`~repro.runner.chaos.ChaosBehaviorModel`
+intercepts only ``fails_condition``; analytic frontiers bypass it, so a
+frontier campaign probes the chaos hook far less often than an exact
+one.  Recovery *semantics* are unchanged -- cross-check and fallback
+calls still go through the wrapper -- but soak tests that count
+injected faults should run ``strategy="exact"``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.defects.models import Defect, DefectKind
+from repro.ifa.flow import CoverageRecord
+from repro.runner.evaluate import UnitOutcome
+from repro.runner.retry import (
+    DEFAULT_UNIT_POLICY,
+    RetryExhaustedError,
+    RetryPolicy,
+    RetryStats,
+    run_with_retry,
+)
+from repro.runner.units import WorkUnit
+
+__all__ = [
+    "FrontierPolicy",
+    "FrontierStats",
+    "FrontierUnitEvaluator",
+]
+
+#: Orientations a model may declare for the R axis.
+_ORIENTATIONS = ("detected_below", "detected_above")
+
+#: Schema tag of cached group-table payloads.
+TABLE_SCHEMA = "repro.frontier-table/1"
+
+
+@dataclass(frozen=True)
+class FrontierPolicy:
+    """Knobs of the frontier fast path.
+
+    Attributes:
+        crosscheck_fraction: Fraction of each group's derived (site, R)
+            cells re-evaluated exactly as a consistency guard; a
+            disagreeing site is demoted to exact evaluation.  0 trusts
+            the declarations outright (cached tables are always
+            trusted: their key proves they were derived -- and
+            cross-checked -- under identical inputs); 1.0 checks every
+            cell, making the solver exact-by-construction (and no
+            faster than the exact path).
+        crosscheck_seed: Seed of the deterministic cell sample.
+    """
+
+    crosscheck_fraction: float = 0.05
+    crosscheck_seed: int = 20050806
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.crosscheck_fraction <= 1.0:
+            raise ValueError("crosscheck_fraction must be in [0, 1]")
+
+
+@dataclass
+class FrontierStats:
+    """Counters describing one frontier evaluator's work.
+
+    Attributes:
+        groups: (kind, condition) groups whose table was derived.
+        cached_groups: Groups served from the evaluation cache.
+        sites: Site decisions made across all derived groups.
+        analytic_sites: Sites answered by a closed-form frontier
+            (zero model invocations).
+        bisection_sites: Sites answered by bisecting ``fails_condition``
+            under a declared monotonicity.
+        exact_sites: Sites the model declined to declare (evaluated
+            exactly per unit).
+        demoted_sites: Declared sites demoted to exact evaluation by a
+            failed shape check or cross-check.
+        model_invocations: Total ``fails_condition`` calls issued by
+            this evaluator (bisection + cross-check + exact fallback);
+            the benchmark's headline reduction compares this against
+            the exact path's sites x |R| x conditions.
+        crosscheck_invocations: Subset of ``model_invocations`` spent
+            on the consistency guard.
+        crosscheck_mismatches: Cross-checked cells that disagreed with
+            the derived row (each demotes its site).
+        nonmonotone_rejects: Analytic rows rejected by the monotone
+            shape check before any cross-check.
+    """
+
+    groups: int = 0
+    cached_groups: int = 0
+    sites: int = 0
+    analytic_sites: int = 0
+    bisection_sites: int = 0
+    exact_sites: int = 0
+    demoted_sites: int = 0
+    model_invocations: int = 0
+    crosscheck_invocations: int = 0
+    crosscheck_mismatches: int = 0
+    nonmonotone_rejects: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """The counters as a plain JSON-serialisable dict."""
+        return {
+            "groups": self.groups,
+            "cached_groups": self.cached_groups,
+            "sites": self.sites,
+            "analytic_sites": self.analytic_sites,
+            "bisection_sites": self.bisection_sites,
+            "exact_sites": self.exact_sites,
+            "demoted_sites": self.demoted_sites,
+            "model_invocations": self.model_invocations,
+            "crosscheck_invocations": self.crosscheck_invocations,
+            "crosscheck_mismatches": self.crosscheck_mismatches,
+            "nonmonotone_rejects": self.nonmonotone_rejects,
+        }
+
+
+@dataclass
+class _GroupTable:
+    """Derived detection rows of one (kind, condition) group.
+
+    Attributes:
+        grid: Ascending unique resistance grid of the group.
+        index_of: Resistance -> grid index (plan resistances are reused
+            verbatim, so float equality is exact).
+        decisions: Per site: a detection row aligned with ``grid``, or
+            ``None`` when the site must be evaluated exactly per unit.
+    """
+
+    grid: list[float]
+    index_of: dict[float, int]
+    decisions: list[list[bool] | None] = field(default_factory=list)
+
+
+def _is_monotone(row: Sequence[bool], orientation: str) -> bool:
+    """True when a detection row matches its declared orientation."""
+    if orientation == "detected_below":
+        return all(row[i] or not row[i + 1] for i in range(len(row) - 1))
+    return all(not row[i] or row[i + 1] for i in range(len(row) - 1))
+
+
+class FrontierUnitEvaluator:
+    """Drop-in :class:`~repro.runner.evaluate.UnitEvaluator` using
+    frontier tables.
+
+    Presents the same ``evaluate(unit) -> UnitOutcome`` interface and
+    emits identical :class:`~repro.ifa.flow.CoverageRecord` payloads;
+    the difference is *how many times* the behaviour model runs.  Group
+    tables are built lazily on the first unit of each (kind, condition)
+    group; retry counters spent on a group's threshold pass are folded
+    into that triggering unit's outcome so campaign-wide tallies stay
+    complete.
+
+    Args:
+        campaign: The :class:`~repro.ifa.flow.IfaCampaign`-shaped
+            object supplying site populations and the behaviour model.
+        plan: The **full** unit plan (not only pending units) -- the
+            group resistance grids must be derived from the complete
+            sweep so cached tables are content-addressed identically
+            regardless of checkpoint/cache state.
+        retry: Per-site retry policy (shared with the exact path).
+        policy: Frontier knobs (cross-check fraction and seed).
+        cache: Optional :class:`~repro.perf.cache.EvaluationCache`;
+            derived group tables are stored/served under
+            :func:`~repro.perf.cache.frontier_cache_key`.
+        unit_deadline: Optional wall-clock budget (seconds) for one
+            unit's per-site loop.  Group-table derivation is excluded:
+            it amortises over the whole group, so charging it to the
+            triggering unit would trip the budget spuriously.
+        sleep: Injectable sleep for the retry machinery.
+        clock: Injectable monotonic clock for deadlines.
+    """
+
+    def __init__(self, campaign: Any, plan: Sequence[WorkUnit],
+                 retry: RetryPolicy | None = None,
+                 policy: FrontierPolicy | None = None,
+                 cache: Any = None,
+                 unit_deadline: float | None = None,
+                 sleep: Callable[[float], None] = time.sleep,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if unit_deadline is not None and unit_deadline <= 0:
+            raise ValueError("unit_deadline must be positive")
+        self.campaign = campaign
+        self.retry = retry if retry is not None else DEFAULT_UNIT_POLICY
+        self.policy = policy if policy is not None else FrontierPolicy()
+        self.cache = cache
+        self.unit_deadline = unit_deadline
+        self.sleep = sleep
+        self.clock = clock
+        self.stats = FrontierStats()
+        self._populations: dict[DefectKind, list[Defect]] = {}
+        self._grids: dict[tuple[DefectKind, Any], list[float]] = {}
+        for unit in plan:
+            key = (unit.kind, unit.condition)
+            grid = self._grids.setdefault(key, [])
+            if unit.resistance not in grid:
+                grid.append(unit.resistance)
+        for grid in self._grids.values():
+            grid.sort()
+        self._groups: dict[tuple[DefectKind, Any], _GroupTable] = {}
+        self._pending_group_stats = RetryStats()
+
+    # ------------------------------------------------------------------
+    # Population / model access
+    # ------------------------------------------------------------------
+    def population(self, kind: DefectKind) -> list[Defect]:
+        """The campaign's (cached) site population for one defect kind."""
+        if kind not in self._populations:
+            self._populations[kind] = (
+                self.campaign.bridge_population()
+                if kind is DefectKind.BRIDGE
+                else self.campaign.open_population())
+        return self._populations[kind]
+
+    def _call_model(self, defect: Defect, condition: Any, key: str,
+                    stats: RetryStats) -> bool:
+        """One retry-wrapped, counted ``fails_condition`` call."""
+        behavior = self.campaign.behavior
+        self.stats.model_invocations += 1
+        return run_with_retry(
+            lambda: behavior.fails_condition(defect, condition),
+            self.retry, key, sleep=self.sleep, clock=self.clock,
+            stats=stats)
+
+    @staticmethod
+    def _declared(behavior: Any, name: str, defect: Defect,
+                  condition: Any) -> Any:
+        """A model declaration, or ``None`` when absent or raising.
+
+        Declarations are capability probes, never obligations: a model
+        (or wrapper) without the method, or whose declaration raises,
+        simply routes the site to the exact path.
+        """
+        fn = getattr(behavior, name, None)
+        if fn is None:
+            return None
+        try:
+            return fn(defect, condition)
+        except Exception:
+            return None
+
+    # ------------------------------------------------------------------
+    # Group tables
+    # ------------------------------------------------------------------
+    def _table_cache_key(self, kind: DefectKind, condition: Any,
+                         grid: Sequence[float]) -> str | None:
+        """Content-addressed cache key of one group table (or None)."""
+        if self.cache is None:
+            return None
+        from repro.perf.cache import frontier_cache_key
+        from repro.perf.fingerprint import (
+            FingerprintError,
+            behavior_fingerprint,
+            population_fingerprint,
+        )
+
+        try:
+            return frontier_cache_key(
+                behavior_fingerprint(self.campaign.behavior),
+                population_fingerprint(self.campaign, kind),
+                grid, condition)
+        except FingerprintError:
+            return None
+
+    def _cached_table(self, key: str | None, n_sites: int,
+                      n_grid: int) -> list[list[bool] | None] | None:
+        """Validated decision rows from the cache, or ``None``."""
+        if key is None:
+            return None
+        payload = self.cache.get(key)
+        if payload is None or payload.get("schema") != TABLE_SCHEMA:
+            return None
+        rows = payload.get("decisions")
+        if not isinstance(rows, list) or len(rows) != n_sites:
+            return None
+        decisions: list[list[bool] | None] = []
+        for row in rows:
+            if row is None:
+                decisions.append(None)
+            elif isinstance(row, list) and len(row) == n_grid:
+                decisions.append([bool(v) for v in row])
+            else:
+                return None
+        return decisions
+
+    def _group(self, kind: DefectKind, condition: Any) -> _GroupTable:
+        """The (lazily built) group table for one (kind, condition)."""
+        gkey = (kind, condition)
+        table = self._groups.get(gkey)
+        if table is not None:
+            return table
+        grid = self._grids.get(gkey, [])
+        population = self.population(kind)
+        index_of = {r: j for j, r in enumerate(grid)}
+        cache_key = self._table_cache_key(kind, condition, grid)
+        cached = self._cached_table(cache_key, len(population), len(grid))
+        if cached is not None:
+            self.stats.cached_groups += 1
+            table = _GroupTable(grid, index_of, cached)
+            self._groups[gkey] = table
+            return table
+        decisions = self._derive_group(kind, condition, grid, population)
+        self.stats.groups += 1
+        self.stats.sites += len(population)
+        if cache_key is not None:
+            self.cache.put(cache_key, {
+                "schema": TABLE_SCHEMA,
+                "decisions": decisions,
+            })
+        table = _GroupTable(grid, index_of, decisions)
+        self._groups[gkey] = table
+        return table
+
+    def _derive_group(self, kind: DefectKind, condition: Any,
+                      grid: list[float], population: Sequence[Defect],
+                      ) -> list[list[bool] | None]:
+        """Derive (and cross-check) every site's detection row."""
+        behavior = self.campaign.behavior
+        decisions: list[list[bool] | None] = []
+        for site_index, site in enumerate(population):
+            row: list[bool] | None = None
+            frontier = self._declared(behavior, "resistance_frontier",
+                                      site, condition)
+            if frontier is not None:
+                try:
+                    row = [bool(frontier.detects(r)) for r in grid]
+                except Exception:
+                    row = None
+                    self.stats.demoted_sites += 1
+                if row is not None and not _is_monotone(
+                        row, frontier.orientation):
+                    # The closed form contradicts its own declared
+                    # orientation: distrust it entirely.
+                    self.stats.nonmonotone_rejects += 1
+                    self.stats.demoted_sites += 1
+                    row = None
+                elif row is not None:
+                    self.stats.analytic_sites += 1
+            if row is None and frontier is None:
+                orientation = self._declared(
+                    behavior, "resistance_monotonicity", site, condition)
+                if orientation in _ORIENTATIONS:
+                    row = self._bisect_row(site, condition, grid,
+                                           orientation,
+                                           f"frontier:{kind.value}:"
+                                           f"{condition.name}"
+                                           f"#site{site_index}")
+                    if row is not None:
+                        self.stats.bisection_sites += 1
+                else:
+                    self.stats.exact_sites += 1
+            elif row is None:
+                # Analytic frontier rejected above: exact per unit.
+                pass
+            decisions.append(row)
+        self._crosscheck(kind, condition, grid, population, decisions)
+        return decisions
+
+    def _bisect_row(self, site: Defect, condition: Any,
+                    grid: Sequence[float], orientation: str,
+                    key: str) -> list[bool] | None:
+        """Detection row by bisection over a declared-monotone axis.
+
+        Locates the first index past the frontier with O(log |grid|)
+        exact ``fails_condition`` calls and floods the rest of the row.
+        Returns ``None`` (exact fallback) when an evaluation exhausts
+        its retries -- the per-unit path will retry and, if still
+        failing, quarantine the site with the exact path's semantics.
+        """
+        # Normalise to "find the first True index" by flipping the
+        # detected_below row (True prefix -> True suffix).
+        flip = orientation == "detected_below"
+        known: dict[int, bool] = {}
+
+        def probe(j: int) -> bool:
+            if j not in known:
+                defect = site.with_resistance(grid[j])
+                value = self._call_model(defect, condition,
+                                         f"{key}@{grid[j]!r}",
+                                         self._pending_group_stats)
+                known[j] = (not value) if flip else value
+            return known[j]
+
+        n = len(grid)
+        try:
+            if n == 0:
+                return []
+            if not probe(n - 1):
+                first = n
+            elif probe(0):
+                first = 0
+            else:
+                lo, hi = 0, n - 1
+                while hi - lo > 1:
+                    mid = (lo + hi) // 2
+                    if probe(mid):
+                        hi = mid
+                    else:
+                        lo = mid
+                first = hi
+        except RetryExhaustedError:
+            return None
+        row = [j >= first for j in range(n)]
+        if flip:
+            row = [not v for v in row]
+        return row
+
+    def _crosscheck(self, kind: DefectKind, condition: Any,
+                    grid: Sequence[float], population: Sequence[Defect],
+                    decisions: list[list[bool] | None]) -> None:
+        """Re-evaluate a seeded cell sample exactly; demote liars.
+
+        Mutates ``decisions`` in place: any site whose derived row
+        disagrees with an exact evaluation -- or whose check exhausts
+        its retries -- is set to ``None`` (exact per-unit fallback).
+        """
+        fraction = self.policy.crosscheck_fraction
+        if fraction <= 0.0 or not grid:
+            return
+        decided = [i for i, row in enumerate(decisions) if row is not None]
+        total = len(decided) * len(grid)
+        if total == 0:
+            return
+        samples = min(total, max(1, math.ceil(fraction * total)))
+        rng = random.Random(f"{self.policy.crosscheck_seed}:"
+                            f"{kind.value}:{condition.name}:{len(grid)}")
+        for cell in rng.sample(range(total), samples):
+            ordinal, j = divmod(cell, len(grid))
+            site_index = decided[ordinal]
+            row = decisions[site_index]
+            if row is None:
+                continue  # already demoted by an earlier sample
+            defect = population[site_index].with_resistance(grid[j])
+            self.stats.crosscheck_invocations += 1
+            try:
+                exact = self._call_model(
+                    defect, condition,
+                    f"frontier-check:{kind.value}:{condition.name}"
+                    f"#site{site_index}@{grid[j]!r}",
+                    self._pending_group_stats)
+            except RetryExhaustedError:
+                decisions[site_index] = None
+                self.stats.demoted_sites += 1
+                continue
+            if exact != row[j]:
+                decisions[site_index] = None
+                self.stats.crosscheck_mismatches += 1
+                self.stats.demoted_sites += 1
+
+    # ------------------------------------------------------------------
+    # Unit evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, unit: WorkUnit) -> UnitOutcome:
+        """Evaluate one unit from its group table (exact where demoted).
+
+        Args:
+            unit: The (kind, R, condition) cell to evaluate.
+
+        Returns:
+            A :class:`~repro.runner.evaluate.UnitOutcome` whose record
+            is byte-identical to the exact path's.
+
+        Raises:
+            UnitDeadlineExceeded: the per-site fallback loop overran
+                ``unit_deadline``.
+        """
+        from repro.runner.evaluate import UnitDeadlineExceeded
+
+        table = self._group(unit.kind, unit.condition)
+        j = table.index_of.get(unit.resistance)
+        population = self.population(unit.kind)
+        cond = unit.condition
+        stats = RetryStats()
+        # Attribute retry counters spent deriving the group to the unit
+        # that triggered the build, so campaign tallies stay complete.
+        stats.merge(self._pending_group_stats)
+        self._pending_group_stats = RetryStats()
+        started = self.clock()
+        detected = 0
+        entries: list[dict[str, Any]] = []
+        for site_index, site in enumerate(population):
+            row = table.decisions[site_index] if j is not None else None
+            if row is not None:
+                if row[j]:
+                    detected += 1
+                continue
+            defect = site.with_resistance(unit.resistance)
+            site_key = f"{unit.unit_id}#site{site_index}"
+            try:
+                if self._call_model(defect, cond, site_key, stats):
+                    detected += 1
+            except RetryExhaustedError as exc:
+                entries.append({
+                    "unit_id": unit.unit_id,
+                    "site_index": site_index,
+                    "defect": str(defect),
+                    "attempts": exc.attempts,
+                    "error": f"{type(exc.causes[-1]).__name__}: "
+                             f"{exc.causes[-1]}",
+                    "deadline_hit": exc.deadline_hit,
+                })
+            if (self.unit_deadline is not None
+                    and self.clock() - started > self.unit_deadline):
+                raise UnitDeadlineExceeded(
+                    f"{unit} exceeded its {self.unit_deadline:g}s budget "
+                    f"after {site_index + 1}/{len(population)} sites; "
+                    "completed units are checkpointed -- fix the stall "
+                    "and resume")
+        record = CoverageRecord(
+            kind=unit.kind.value,
+            resistance=unit.resistance,
+            condition=cond.name,
+            vdd=cond.vdd,
+            period=cond.period,
+            detected=detected,
+            total=len(population),
+            errors=len(entries),
+        )
+        return UnitOutcome(index=unit.index, unit_id=unit.unit_id,
+                           record=record, quarantine=entries, stats=stats)

@@ -1,0 +1,273 @@
+"""Frontier benchmark: invocation reduction measured, not asserted.
+
+Produces the ``BENCH_frontier.json`` artefact documented in
+``docs/performance.md``.  Two comparisons, both verified byte-identical
+on every run before any number is reported:
+
+* **campaign** -- the paper's Table-1 bridge sweep (4 resistances x
+  the 5 production stress conditions) evaluated ``strategy="exact"``
+  vs ``strategy="frontier"`` (:mod:`repro.perf.frontier`), with the
+  behaviour model wrapped in a
+  :class:`~repro.perf.counting.CountingBehaviorModel` so the headline
+  figure is a deterministic call count, not a timing;
+* **shmoo** -- a paper-sized (Vdd, period) grid (Figures 3/4: 15
+  voltages x 24 periods) filled ``strategy="exact"`` vs
+  ``strategy="boundary"`` by :class:`~repro.tester.shmoo.ShmooRunner`,
+  counting tester invocations.
+
+The validator (:func:`validate_frontier_bench`) enforces the floors the
+fast paths exist for -- at least 5x fewer behaviour-model invocations
+on the Table-1 campaign, at least 3x fewer tester invocations on the
+shmoo -- so a regression that erodes the reduction fails the artefact's
+schema check, not just a benchmark eyeball.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.circuit.technology import CMOS018
+from repro.defects.behavior import DefectBehaviorModel
+from repro.defects.models import BridgeSite, Defect, DefectKind
+from repro.ifa.flow import TABLE1_RESISTANCES, IfaCampaign
+from repro.march.library import get_test
+from repro.memory.geometry import MemoryGeometry
+from repro.memory.sram import Sram
+from repro.perf.counting import CountingBehaviorModel
+from repro.runner.campaign import CampaignRunner, SweepSpec
+from repro.stress import production_conditions
+from repro.tester.ate import VirtualTester
+from repro.tester.shmoo import (
+    ShmooRunner,
+    default_period_axis,
+    default_voltage_axis,
+)
+
+#: Schema tag of the emitted BENCH_frontier.json document.
+FRONTIER_BENCH_SCHEMA = "repro.bench-frontier/1"
+
+#: Acceptance floors enforced by the validator.
+MIN_CAMPAIGN_REDUCTION = 5.0
+MIN_SHMOO_REDUCTION = 3.0
+
+
+@dataclass(frozen=True)
+class FrontierBenchConfig:
+    """Shape of the frontier benchmark.
+
+    Attributes:
+        rows, columns, bits: Memory geometry of the campaign half.
+        sites: Site-population size of the Table-1 sweep.
+        seed: Campaign seed.
+        shmoo_defect_resistance: Resistance of the Chip-1-style bridge
+            whose shmoo is traced (the paper's Figure 4 device).
+    """
+
+    rows: int = 32
+    columns: int = 4
+    bits: int = 8
+    sites: int = 400
+    seed: int = 2005
+    shmoo_defect_resistance: float = 240e3
+
+    @classmethod
+    def quick(cls) -> "FrontierBenchConfig":
+        """A seconds-scale configuration for CI smoke runs.
+
+        Only the site population shrinks; the shmoo grid stays
+        paper-sized so the invocation-reduction floors still hold (the
+        reductions are structural, not population-dependent).
+        """
+        return cls(rows=16, columns=2, bits=4, sites=80)
+
+
+def _campaign_specs() -> list[SweepSpec]:
+    """The paper's Table-1 sweep: 4 bridge resistances x 5 conditions."""
+    conds = tuple(production_conditions(CMOS018).values())
+    return [SweepSpec.of(DefectKind.BRIDGE, TABLE1_RESISTANCES, conds)]
+
+
+def _counted_campaign(config: FrontierBenchConfig) -> IfaCampaign:
+    """A fresh campaign whose behaviour model counts its calls."""
+    geometry = MemoryGeometry(config.rows, config.columns, config.bits)
+    campaign = IfaCampaign(geometry, CMOS018, n_sites=config.sites,
+                           seed=config.seed)
+    campaign.behavior = CountingBehaviorModel(campaign.behavior)
+    return campaign
+
+
+def _records_blob(records: list[Any]) -> str:
+    """Canonical byte-comparison form of a record list."""
+    return json.dumps([asdict(r) for r in records], sort_keys=True)
+
+
+def _bench_campaign(config: FrontierBenchConfig) -> dict[str, Any]:
+    """Time + count the Table-1 sweep exact vs frontier."""
+    specs = _campaign_specs()
+    rows: dict[str, Any] = {}
+    results: dict[str, str] = {}
+    frontier_stats: dict[str, Any] | None = None
+    for strategy in ("exact", "frontier"):
+        campaign = _counted_campaign(config)
+        runner = CampaignRunner(campaign, strategy=strategy)
+        started = time.perf_counter()
+        result = runner.run(specs)
+        seconds = time.perf_counter() - started
+        rows[strategy] = {
+            "model_invocations": campaign.behavior.calls,
+            "seconds": round(seconds, 6),
+            "units": len(result.records),
+        }
+        results[strategy] = _records_blob(result.records)
+        if result.frontier_stats is not None:
+            frontier_stats = result.frontier_stats
+    if results["exact"] != results["frontier"]:
+        raise RuntimeError(
+            "frontier records diverged from exact -- the equivalence "
+            "contract is broken")
+    exact_calls = rows["exact"]["model_invocations"]
+    frontier_calls = max(1, rows["frontier"]["model_invocations"])
+    rows["frontier"]["stats"] = frontier_stats
+    rows["invocation_reduction"] = round(exact_calls / frontier_calls, 2)
+    rows["speedup"] = (
+        round(rows["exact"]["seconds"] / rows["frontier"]["seconds"], 3)
+        if rows["frontier"]["seconds"] else None)
+    rows["records_match"] = True
+    return rows
+
+
+def _bench_shmoo(config: FrontierBenchConfig) -> dict[str, Any]:
+    """Time + count a paper-sized shmoo exact vs boundary-traced."""
+    sram = Sram(MemoryGeometry(8, 2, 4), CMOS018)
+    defects = [Defect(DefectKind.BRIDGE, BridgeSite.CELL_NODE_RAIL,
+                      config.shmoo_defect_resistance, polarity=1, cell=13)]
+    voltages = default_voltage_axis()
+    periods = default_period_axis()
+    rows: dict[str, Any] = {}
+    grids: dict[str, Any] = {}
+    for strategy in ("exact", "boundary"):
+        runner = ShmooRunner(VirtualTester(DefectBehaviorModel(CMOS018)),
+                             get_test("11N"))
+        started = time.perf_counter()
+        plot = runner.run(sram, defects, voltages, periods,
+                          strategy=strategy)
+        seconds = time.perf_counter() - started
+        stats = runner.last_stats
+        rows[strategy] = {
+            "tester_invocations": stats.tester_invocations,
+            "seconds": round(seconds, 6),
+            "grid_cells": stats.grid_cells,
+        }
+        if strategy == "boundary":
+            rows[strategy]["crosscheck_invocations"] = (
+                stats.crosscheck_invocations)
+            rows[strategy]["fallback"] = stats.fallback
+        grids[strategy] = plot.passed
+    if not np.array_equal(grids["exact"], grids["boundary"]):
+        raise RuntimeError(
+            "boundary-traced grid diverged from the exact grid -- the "
+            "equivalence contract is broken")
+    exact_calls = rows["exact"]["tester_invocations"]
+    boundary_calls = max(1, rows["boundary"]["tester_invocations"])
+    rows["invocation_reduction"] = round(exact_calls / boundary_calls, 2)
+    rows["speedup"] = (
+        round(rows["exact"]["seconds"] / rows["boundary"]["seconds"], 3)
+        if rows["boundary"]["seconds"] else None)
+    rows["grids_match"] = True
+    return rows
+
+
+def run_frontier_benchmark(config: FrontierBenchConfig | None = None,
+                           ) -> dict[str, Any]:
+    """Run both frontier benchmarks and assemble the document.
+
+    Args:
+        config: Benchmark shape (defaults to
+            :class:`FrontierBenchConfig`).
+
+    Returns:
+        The ``BENCH_frontier.json`` document (see
+        :func:`validate_frontier_bench` for the schema).
+
+    Raises:
+        RuntimeError: a fast path's records or grid diverged from the
+            exact path -- an equivalence bug that must fail loudly.
+    """
+    config = config if config is not None else FrontierBenchConfig()
+    campaign = _bench_campaign(config)
+    shmoo = _bench_shmoo(config)
+    return {
+        "schema": FRONTIER_BENCH_SCHEMA,
+        "config": asdict(config),
+        "campaign": campaign,
+        "shmoo": shmoo,
+        # Headline figures: deterministic call-count reductions (the
+        # wall-clock speedups are informational -- timings vary with
+        # the host, invocation counts do not).
+        "invocation_reduction_campaign": campaign["invocation_reduction"],
+        "invocation_reduction_shmoo": shmoo["invocation_reduction"],
+    }
+
+
+def validate_frontier_bench(doc: Any) -> list[str]:
+    """Validate a BENCH_frontier.json document's schema and floors.
+
+    Beyond shape, enforces the acceptance floors: the campaign must
+    show at least a 5x model-invocation reduction and the shmoo at
+    least a 3x tester-invocation reduction, and both equivalence checks
+    must have passed.
+
+    Args:
+        doc: Parsed JSON document.
+
+    Returns:
+        Human-readable problems; empty when the document is valid.
+    """
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    if doc.get("schema") != FRONTIER_BENCH_SCHEMA:
+        problems.append(f"schema != {FRONTIER_BENCH_SCHEMA!r}")
+    if not isinstance(doc.get("config"), dict):
+        problems.append("missing or non-object 'config'")
+    campaign = doc.get("campaign")
+    if not isinstance(campaign, dict):
+        problems.append("missing or non-object 'campaign'")
+    else:
+        for row in ("exact", "frontier"):
+            inner = campaign.get(row)
+            if not isinstance(inner, dict) or not isinstance(
+                    inner.get("model_invocations"), int):
+                problems.append(
+                    f"campaign: missing {row!r} row with "
+                    "'model_invocations'")
+        if campaign.get("records_match") is not True:
+            problems.append("campaign: records_match is not true")
+    shmoo = doc.get("shmoo")
+    if not isinstance(shmoo, dict):
+        problems.append("missing or non-object 'shmoo'")
+    else:
+        for row in ("exact", "boundary"):
+            inner = shmoo.get(row)
+            if not isinstance(inner, dict) or not isinstance(
+                    inner.get("tester_invocations"), int):
+                problems.append(
+                    f"shmoo: missing {row!r} row with "
+                    "'tester_invocations'")
+        if shmoo.get("grids_match") is not True:
+            problems.append("shmoo: grids_match is not true")
+    for field, floor in (
+            ("invocation_reduction_campaign", MIN_CAMPAIGN_REDUCTION),
+            ("invocation_reduction_shmoo", MIN_SHMOO_REDUCTION)):
+        value = doc.get(field)
+        if not isinstance(value, (int, float)):
+            problems.append(f"missing or non-numeric {field!r}")
+        elif value < floor:
+            problems.append(
+                f"{field} = {value} is below the {floor}x floor")
+    return problems

@@ -104,6 +104,9 @@ class CampaignResult:
         retry_stats: Site-evaluation retry counters for this run.
         cache_stats: Hit/miss statistics of the evaluation cache
             (``None`` when no cache was attached).
+        frontier_stats: Counters of the frontier sweep solver
+            (:class:`~repro.perf.frontier.FrontierStats` as a dict;
+            ``None`` unless ``strategy="frontier"`` evaluated units).
     """
 
     records: list[CoverageRecord]
@@ -113,6 +116,7 @@ class CampaignResult:
     cached_units: int = 0
     retry_stats: RetryStats = field(default_factory=RetryStats)
     cache_stats: dict[str, Any] | None = None
+    frontier_stats: dict[str, Any] | None = None
 
     @property
     def total_errors(self) -> int:
@@ -181,6 +185,17 @@ class CampaignRunner:
             ...) stored in -- and matched against -- the checkpoint.
         fault_hook: Chaos probe threaded into checkpoint/cache I/O
             (typically ``FaultInjector.check``).
+        strategy: Unit-evaluation strategy.  ``"exact"`` (default)
+            evaluates every (site, R) cell through the behaviour model;
+            ``"frontier"`` derives per-site detection thresholds once
+            per (kind, condition) group and answers the sweep by
+            comparison (:mod:`repro.perf.frontier`), with guarded
+            per-site fallback to exact -- records are byte-identical
+            either way.  Frontier evaluation is serial by design (the
+            group tables amortise across units, which a process pool
+            would duplicate per worker), so it rejects ``workers > 1``.
+        frontier_policy: Cross-check knobs of the frontier strategy
+            (:class:`~repro.perf.frontier.FrontierPolicy`).
         sleep, clock: Injectable time sources for the retry machinery
             (tests pass fakes; production uses the real ones).
     """
@@ -195,6 +210,8 @@ class CampaignRunner:
                  cache: "EvaluationCache | str | Path | None" = None,
                  meta: dict[str, Any] | None = None,
                  fault_hook: Callable[[str], None] | None = None,
+                 strategy: str = "exact",
+                 frontier_policy: Any = None,
                  sleep: Callable[[float], None] = time.sleep,
                  clock: Callable[[], float] = time.monotonic) -> None:
         if checkpoint_every < 1:
@@ -203,6 +220,14 @@ class CampaignRunner:
             raise ValueError("unit_deadline must be positive")
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if strategy not in ("exact", "frontier"):
+            raise ValueError(
+                f"strategy must be 'exact' or 'frontier', got {strategy!r}")
+        if strategy == "frontier" and workers > 1:
+            raise ValueError(
+                "strategy='frontier' is serial (its group tables "
+                "amortise across units); use workers=1, or "
+                "strategy='exact' for the process pool")
         self.campaign = campaign
         self.retry = retry
         self.checkpoint_path = (Path(checkpoint_path)
@@ -214,8 +239,11 @@ class CampaignRunner:
         self.cache, self.cache_path = self._resolve_cache(cache)
         self.extra_meta = dict(meta or {})
         self.fault_hook = fault_hook
+        self.strategy = strategy
+        self.frontier_policy = frontier_policy
         self.sleep = sleep
         self.clock = clock
+        self._frontier_evaluator: Any = None
 
     @staticmethod
     def _resolve_cache(cache: "EvaluationCache | str | Path | None",
@@ -307,9 +335,27 @@ class CampaignRunner:
                 hits[unit.unit_id] = payload
         return keys, hits
 
-    def _outcomes(self, pending: Sequence[WorkUnit],
+    def _outcomes(self, units: Sequence[WorkUnit],
+                  pending: Sequence[WorkUnit],
                   ) -> Iterator[UnitOutcome]:
-        """Evaluate pending units lazily, serially or across the pool."""
+        """Evaluate pending units lazily: exact serial, frontier, or pool.
+
+        Args:
+            units: The full plan (the frontier evaluator derives its
+                group grids from it, so table cache keys do not depend
+                on checkpoint/cache state).
+            pending: The subset actually needing evaluation.
+        """
+        if self.strategy == "frontier":
+            from repro.perf.frontier import FrontierUnitEvaluator
+
+            evaluator = FrontierUnitEvaluator(
+                self.campaign, plan=units, retry=self.retry,
+                policy=self.frontier_policy, cache=self.cache,
+                unit_deadline=self.unit_deadline,
+                sleep=self.sleep, clock=self.clock)
+            self._frontier_evaluator = evaluator
+            return (evaluator.evaluate(unit) for unit in pending)
         if self.workers == 1:
             evaluator = UnitEvaluator(self.campaign, retry=self.retry,
                                       unit_deadline=self.unit_deadline,
@@ -354,7 +400,7 @@ class CampaignRunner:
         pending = [u for u in units
                    if not ckpt.is_complete(u.unit_id)
                    and u.unit_id not in hits]
-        outcomes = self._outcomes(pending)
+        outcomes = self._outcomes(units, pending)
         dirty = 0
         for unit in units:
             unit_id = unit.unit_id
@@ -390,6 +436,8 @@ class CampaignRunner:
         self._save_cache()
         if self.cache is not None:
             result.cache_stats = self.cache.stats()
+        if self._frontier_evaluator is not None:
+            result.frontier_stats = self._frontier_evaluator.stats.as_dict()
         return result
 
     # ------------------------------------------------------------------

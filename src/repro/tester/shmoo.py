@@ -9,10 +9,26 @@ classic ASCII shmoo.
 
 Axis conventions follow the paper: X = period ascending left-to-right
 (so "at-speed" is on the left), Y = voltage ascending bottom-to-top.
+
+Two fill strategies are available.  ``"exact"`` tests every grid point
+(O(V x P) tester invocations).  ``"boundary"`` exploits the structure
+every paper shmoo exhibits -- within one voltage row, failing a longer
+period implies failing every shorter one, so each row's pass region is
+a suffix of the ascending period axis -- and locates each row's
+boundary by bisection (seeded with the previous row's boundary),
+flooding the rest of the row: O(V log P) invocations, typically ~2-3
+per row.  A seeded sample of grid cells is then re-tested exactly; any
+disagreement discards the traced grid and refills it exactly, so the
+returned plot is byte-identical to the exact strategy for every
+monotone-per-row device and still correct for adversarial ones.
+
+Exact-path equivalence: tests/tester/test_shmoo.py
 """
 
 from __future__ import annotations
 
+import math
+import random
 from dataclasses import dataclass
 
 import numpy as np
@@ -97,20 +113,30 @@ class ShmooPlot:
 
         Args:
             markers: Optional ``(vdd, period) -> char`` overlays (e.g.
-                the paper's dashed reference lines).
+                the paper's dashed reference lines).  Each marker is
+                *snapped to the nearest grid point* on both axes --
+                exactly like :meth:`passes_at` -- so a reference value
+                between grid lines lands on its closest cell instead of
+                silently vanishing; markers snapping to the same cell
+                overwrite in iteration order.
         """
+        # Precompute each marker's grid cell once (nearest-index
+        # lookup), instead of scanning every marker at every cell with
+        # brittle float equality.
+        cell_marks: dict[tuple[int, int], str] = {}
+        if markers:
+            for (mv, mp), mch in markers.items():
+                i = int(np.abs(self.voltages - mv).argmin())
+                j = int(np.abs(self.periods - mp).argmin())
+                cell_marks[(i, j)] = mch
         lines = []
         if self.title:
             lines.append(self.title)
         for i in range(self.voltages.size - 1, -1, -1):
             row_chars = []
             for j in range(self.periods.size):
-                ch = PASS_MARK if self.passed[i, j] else FAIL_MARK
-                if markers:
-                    for (mv, mp), mch in markers.items():
-                        if (abs(self.voltages[i] - mv) < 1e-12
-                                and abs(self.periods[j] - mp) < 1e-15):
-                            ch = mch
+                ch = cell_marks.get(
+                    (i, j), PASS_MARK if self.passed[i, j] else FAIL_MARK)
                 row_chars.append(ch)
             lines.append(f"{self.voltages[i]:5.2f}V |" + "".join(row_chars))
         axis = "       +" + "-" * self.periods.size
@@ -121,33 +147,232 @@ class ShmooPlot:
         return "\n".join(lines)
 
 
+@dataclass
+class ShmooRunStats:
+    """Instrumentation of one :meth:`ShmooRunner.run` call.
+
+    Attributes:
+        strategy: Fill strategy actually requested (``"exact"`` or
+            ``"boundary"``).
+        grid_cells: Grid size (V x P) -- the exact strategy's tester
+            invocation count.
+        tester_invocations: Tester invocations actually issued,
+            including boundary tracing, the consistency sample and any
+            exact refill.
+        crosscheck_invocations: Subset spent on the boundary mode's
+            consistency sample.
+        fallback: True when the consistency sample disagreed with the
+            traced grid and the plot was refilled exactly.
+    """
+
+    strategy: str
+    grid_cells: int
+    tester_invocations: int = 0
+    crosscheck_invocations: int = 0
+    fallback: bool = False
+
+
 class ShmooRunner:
     """Sweep the tester over a (Vdd, period) grid.
 
     Args:
         tester: The virtual ATE.
         test: March test to apply at every point.
+        crosscheck_fraction: Fraction of grid cells re-tested exactly
+            after a boundary trace (the guard that triggers the exact
+            refill); ignored by the exact strategy.
+        crosscheck_seed: Seed of the deterministic cell sample.
     """
 
-    def __init__(self, tester: VirtualTester, test: MarchTest) -> None:
+    def __init__(self, tester: VirtualTester, test: MarchTest,
+                 crosscheck_fraction: float = 0.05,
+                 crosscheck_seed: int = 20050314) -> None:
+        if not 0.0 <= crosscheck_fraction <= 1.0:
+            raise ValueError("crosscheck_fraction must be in [0, 1]")
         self.tester = tester
         self.test = test
+        self.crosscheck_fraction = crosscheck_fraction
+        self.crosscheck_seed = crosscheck_seed
+        #: Stats of the most recent :meth:`run` (None before any run).
+        self.last_stats: ShmooRunStats | None = None
 
     def run(self, sram: Sram, defects: list[Defect],
             voltages: np.ndarray | list[float],
             periods: np.ndarray | list[float],
-            title: str = "") -> ShmooPlot:
-        """Fill the shmoo grid (quick behavioural mode per point)."""
+            title: str = "", strategy: str = "exact") -> ShmooPlot:
+        """Fill the shmoo grid (quick behavioural mode per point).
+
+        Args:
+            sram: Device under test.
+            defects: Injected defects (empty for fault-free).
+            voltages: Y-axis supply values (sorted ascending).
+            periods: X-axis period values (sorted ascending).
+            title: Plot label.
+            strategy: ``"exact"`` tests every cell; ``"boundary"``
+                traces each row's pass/fail boundary by bisection and
+                floods the rest (see the module docstring), falling
+                back to an exact refill when the sampled consistency
+                check disagrees.  Both return byte-identical grids for
+                row-monotone devices -- which every stock defect model
+                is -- and ``last_stats`` reports the invocation counts.
+
+        Returns:
+            The filled :class:`ShmooPlot`.
+
+        Raises:
+            ValueError: unknown ``strategy``.
+        """
+        if strategy not in ("exact", "boundary"):
+            raise ValueError(
+                f"strategy must be 'exact' or 'boundary', got {strategy!r}")
         voltages = np.sort(np.asarray(voltages, dtype=float))
         periods = np.sort(np.asarray(periods, dtype=float))
+        stats = ShmooRunStats(strategy=strategy,
+                              grid_cells=voltages.size * periods.size)
+        if strategy == "boundary":
+            passed = self._fill_boundary(sram, defects, voltages, periods,
+                                         stats)
+        else:
+            passed = self._fill_exact(sram, defects, voltages, periods,
+                                      stats)
+        self.last_stats = stats
+        return ShmooPlot(voltages, periods, passed, title)
+
+    # ------------------------------------------------------------------
+    # Fill strategies
+    # ------------------------------------------------------------------
+    def _point(self, sram: Sram, defects: list[Defect], vdd: float,
+               period: float, stats: ShmooRunStats) -> bool:
+        """One counted tester invocation at a grid point."""
+        stats.tester_invocations += 1
+        condition = StressCondition("shmoo", float(vdd), float(period))
+        return bool(self.tester.test_device(sram, defects, self.test,
+                                            condition, quick=True).passed)
+
+    def _fill_exact(self, sram: Sram, defects: list[Defect],
+                    voltages: np.ndarray, periods: np.ndarray,
+                    stats: ShmooRunStats) -> np.ndarray:
+        """Test every cell of the grid."""
         passed = np.zeros((voltages.size, periods.size), dtype=bool)
         for i, vdd in enumerate(voltages):
             for j, period in enumerate(periods):
-                condition = StressCondition("shmoo", float(vdd), float(period))
-                result = self.tester.test_device(sram, defects, self.test,
-                                                 condition, quick=True)
-                passed[i, j] = result.passed
-        return ShmooPlot(voltages, periods, passed, title)
+                passed[i, j] = self._point(sram, defects, vdd, period,
+                                           stats)
+        return passed
+
+    def _fill_boundary(self, sram: Sram, defects: list[Defect],
+                       voltages: np.ndarray, periods: np.ndarray,
+                       stats: ShmooRunStats) -> np.ndarray:
+        """Trace each row's boundary, flood the rest, verify a sample."""
+        n = periods.size
+        passed = np.zeros((voltages.size, n), dtype=bool)
+        hint: int | None = None
+        for i, vdd in enumerate(voltages):
+            first = self._first_passing(
+                lambda j, v=vdd: self._point(sram, defects, v,
+                                             periods[j], stats),
+                n, hint)
+            passed[i, first:] = True
+            hint = first
+        if not self._consistent(sram, defects, voltages, periods, passed,
+                                stats):
+            stats.fallback = True
+            return self._fill_exact(sram, defects, voltages, periods,
+                                    stats)
+        return passed
+
+    @staticmethod
+    def _first_passing(point, n: int, hint: int | None) -> int:
+        """First index with ``point(j)`` True, assuming a pass suffix.
+
+        Bisects under the row-monotonicity assumption (pass at period j
+        implies pass at every j' > j), seeding from the previous row's
+        boundary when given: the hint is probed first and the frontier
+        galloped outward from it, so rows whose boundary moved little
+        cost ~2 probes.  Results are memoised, so no grid point is
+        tested twice within one row.
+
+        Args:
+            point: ``j -> bool`` pass probe for this row.
+            n: Row length.
+            hint: Previous row's first passing index (or None).
+
+        Returns:
+            The first passing index, or ``n`` when the row all-fails.
+        """
+        known: dict[int, bool] = {}
+
+        def probe(j: int) -> bool:
+            if j not in known:
+                known[j] = point(j)
+            return known[j]
+
+        if n == 0:
+            return 0
+        lo: int | None = None  # greatest known failing index
+        hi: int | None = None  # least known passing index
+        if hint is not None and 0 <= hint < n:
+            if probe(hint):
+                if hint == 0 or not probe(hint - 1):
+                    return hint
+                # Boundary is strictly left of the hint: gallop left.
+                hi, step = hint - 1, 1
+                cursor = hi - step
+                while cursor > 0 and probe(cursor):
+                    hi = cursor
+                    step *= 2
+                    cursor = hi - step
+                if cursor <= 0:
+                    if probe(0):
+                        return 0
+                    lo = 0
+                else:
+                    lo = cursor
+            else:
+                # Boundary is strictly right of the hint: gallop right.
+                lo, step = hint, 1
+                cursor = lo + step
+                while cursor < n - 1 and not probe(cursor):
+                    lo = cursor
+                    step *= 2
+                    cursor = lo + step
+                if cursor >= n - 1:
+                    if not probe(n - 1):
+                        return n
+                    hi = n - 1
+                else:
+                    hi = cursor
+        else:
+            if not probe(n - 1):
+                return n
+            if probe(0):
+                return 0
+            lo, hi = 0, n - 1
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if probe(mid):
+                hi = mid
+            else:
+                lo = mid
+        return hi
+
+    def _consistent(self, sram: Sram, defects: list[Defect],
+                    voltages: np.ndarray, periods: np.ndarray,
+                    passed: np.ndarray, stats: ShmooRunStats) -> bool:
+        """Re-test a seeded sample of cells against the traced grid."""
+        total = voltages.size * periods.size
+        if self.crosscheck_fraction <= 0.0 or total == 0:
+            return True
+        samples = min(total,
+                      max(1, math.ceil(self.crosscheck_fraction * total)))
+        rng = random.Random(f"{self.crosscheck_seed}:{total}")
+        for cell in rng.sample(range(total), samples):
+            i, j = divmod(cell, periods.size)
+            stats.crosscheck_invocations += 1
+            if self._point(sram, defects, voltages[i], periods[j],
+                           stats) != passed[i, j]:
+                return False
+        return True
 
 
 def default_voltage_axis(lo: float = 0.8, hi: float = 2.2,

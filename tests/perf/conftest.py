@@ -1,0 +1,45 @@
+"""Shared perf-test fixtures: invocation-counting campaign and tester.
+
+The counting wrappers (:mod:`repro.perf.counting`) turn speedup claims
+into deterministic call-count inequalities -- a fast-path test asserts
+``exact_calls >= K * fast_calls`` instead of trusting wall-clock.
+"""
+
+import pytest
+
+from repro.circuit.technology import CMOS018
+from repro.defects.behavior import DefectBehaviorModel
+from repro.ifa.flow import IfaCampaign
+from repro.memory.geometry import MemoryGeometry
+from repro.perf.counting import CountingBehaviorModel, CountingTester
+from repro.tester.ate import VirtualTester
+
+GEOM = MemoryGeometry(16, 2, 4)
+
+
+@pytest.fixture
+def counting_campaign():
+    """Factory for campaigns whose behaviour model counts its calls.
+
+    Usage::
+
+        campaign = counting_campaign()              # stock model
+        campaign = counting_campaign(wrap=Lying)    # counted wrapper
+
+    ``wrap`` (if given) is applied to the stock behaviour model first;
+    the :class:`CountingBehaviorModel` always sits outermost so every
+    ``fails_condition`` call is counted regardless of the wrapper.
+    """
+    def make(n_sites=40, seed=11, wrap=None):
+        campaign = IfaCampaign(GEOM, CMOS018, n_sites=n_sites, seed=seed)
+        inner = (campaign.behavior if wrap is None
+                 else wrap(campaign.behavior))
+        campaign.behavior = CountingBehaviorModel(inner)
+        return campaign
+    return make
+
+
+@pytest.fixture
+def counting_tester():
+    """A virtual tester whose ``test_device`` calls are counted."""
+    return CountingTester(VirtualTester(DefectBehaviorModel(CMOS018)))

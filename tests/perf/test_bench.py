@@ -55,6 +55,34 @@ class TestBenchDocument:
         assert validate_bench(json.loads(json.dumps(bench_doc))) == []
 
 
+class TestWorkerClamp:
+    """The cpu-bound workload never oversubscribes the host's cores."""
+
+    def test_cpu_workers_clamped_to_visible_cpus(self, bench_doc):
+        import os
+
+        requested = bench_doc["config"]["workers"]
+        cpu_parallel = bench_doc["workloads"]["cpu"]["parallel"]
+        assert cpu_parallel["workers_requested"] == requested
+        assert cpu_parallel["workers"] == min(requested,
+                                              os.cpu_count() or 1)
+        assert bench_doc["workloads"]["cpu"]["workers_clamped"] == (
+            cpu_parallel["workers"] < requested)
+
+    def test_sim_workload_keeps_requested_workers(self, bench_doc):
+        """Latency-bound oversubscription is the sim workload's point."""
+        sim_parallel = bench_doc["workloads"]["sim"]["parallel"]
+        assert sim_parallel["workers"] == bench_doc["config"]["workers"]
+
+    def test_validator_requires_clamp_fields(self, bench_doc):
+        doc = json.loads(json.dumps(bench_doc))
+        del doc["workloads"]["cpu"]["workers_clamped"]
+        del doc["workloads"]["sim"]["parallel"]["workers_requested"]
+        problems = validate_bench(doc)
+        assert any("workers_clamped" in p for p in problems)
+        assert any("workers_requested" in p for p in problems)
+
+
 class TestValidateBench:
     def test_rejects_non_object(self):
         assert validate_bench([]) == ["document is not a JSON object"]

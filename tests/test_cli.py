@@ -208,3 +208,41 @@ class TestCampaign:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["campaign"])
+
+    def test_run_with_frontier_strategy(self, capsys):
+        rc = main(["campaign", "run", *self.ARGS,
+                   "--strategy", "frontier"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "campaign complete" in out
+        assert "frontier:" in out and "model invocations" in out
+
+    def test_frontier_rejects_workers(self, capsys):
+        rc = main(["campaign", "run", *self.ARGS,
+                   "--strategy", "frontier", "--workers", "2"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "serial" in err
+
+    def test_rejects_unknown_strategy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "run",
+                                       "--strategy", "turbo"])
+
+
+class TestShmooStrategy:
+    def test_boundary_strategy_prints_trace_stats(self, capsys):
+        rc = main(["shmoo", "--defect", "rail-bridge",
+                   "--resistance", "240e3", "--strategy", "boundary"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "boundary trace:" in out and "tester invocations" in out
+
+    def test_exact_strategy_prints_no_trace_stats(self, capsys):
+        rc = main(["shmoo"])
+        assert rc == 0
+        assert "boundary trace:" not in capsys.readouterr().out
+
+    def test_rejects_unknown_strategy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["shmoo", "--strategy", "turbo"])

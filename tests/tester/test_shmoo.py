@@ -10,6 +10,7 @@ from repro.march.library import TEST_11N
 from repro.memory.geometry import MemoryGeometry
 from repro.memory.sram import Sram
 from repro.tester.ate import VirtualTester
+from repro.perf.counting import CountingTester
 from repro.tester.shmoo import (
     ShmooPlot,
     ShmooRunner,
@@ -126,6 +127,131 @@ class TestDefectShmoos:
         plot = runner.run(sram, [d], default_voltage_axis(),
                           default_period_axis())
         assert plot.fail_region_fraction() == 1.0
+
+
+class TestRenderMarkerSnapping:
+    def test_off_grid_marker_lands_on_nearest_cell(self, fault_free_plot):
+        """A reference value between grid lines snaps like passes_at."""
+        v0, v1 = (float(fault_free_plot.voltages[0]),
+                  float(fault_free_plot.voltages[1]))
+        p0 = float(fault_free_plot.periods[0])
+        off_grid_v = v0 + 0.25 * (v1 - v0)  # nearest to v0
+        text = fault_free_plot.render(markers={(off_grid_v, p0): "X"})
+        bottom_row = [line for line in text.splitlines()
+                      if line.startswith(f"{v0:5.2f}V")][0]
+        assert bottom_row.split("|", 1)[1][0] == "X"
+
+    def test_same_cell_markers_overwrite_in_order(self, fault_free_plot):
+        v = float(fault_free_plot.voltages[0])
+        p = float(fault_free_plot.periods[0])
+        text = fault_free_plot.render(markers={(v, p): "A",
+                                               (v, p * 1.0001): "B"})
+        assert "B" in text and "A" not in text
+
+
+class TestGridEdgeCases:
+    def test_all_fail_grid(self, runner, sram):
+        """A dead-short device: every query degrades gracefully."""
+        d = bridge(BridgeSite.CELL_NODE_RAIL, 20.0)
+        plot = runner.run(sram, [d], default_voltage_axis(),
+                          default_period_axis())
+        assert plot.fail_region_fraction() == 1.0
+        assert not plot.boundary_is_vertical()
+        assert plot.min_passing_voltage(100e-9) is None
+        assert plot.min_passing_period(1.8) is None
+        assert "+" not in plot.render().split("\n")[0]
+
+    @pytest.mark.parametrize("voltages,periods", [
+        ([1.8], default_period_axis()),          # single row
+        (default_voltage_axis(), [100e-9]),      # single column
+        ([1.8], [100e-9]),                       # single cell
+    ])
+    def test_degenerate_grids_match_exact(self, runner, sram,
+                                          voltages, periods):
+        d = bridge(BridgeSite.CELL_NODE_RAIL, 240e3, polarity=1)
+        exact = runner.run(sram, [d], voltages, periods)
+        traced = runner.run(sram, [d], voltages, periods,
+                            strategy="boundary")
+        assert np.array_equal(exact.passed, traced.passed)
+        assert not runner.last_stats.fallback
+
+
+CHIP_DEFECTS = {
+    "fig3-faultfree": [],
+    "fig4-chip1": [bridge(BridgeSite.CELL_NODE_RAIL, 240e3, polarity=1)],
+    "fig7-chip2": [open_defect(OpenSite.DECODER_INPUT, 5e5)],
+    "fig9-chip3": [open_defect(OpenSite.BITLINE_SEGMENT, 3e6)],
+    "fig10-chip4": [open_defect(OpenSite.PERIPHERY_PATH, 3e6)],
+}
+
+
+class TestBoundaryStrategy:
+    """boundary-traced fill == exact fill, several-fold cheaper."""
+
+    def test_invalid_strategy_rejected(self, runner, sram):
+        with pytest.raises(ValueError, match="strategy"):
+            runner.run(sram, [], [1.8], [100e-9], strategy="fast")
+
+    @pytest.mark.parametrize("figure", sorted(CHIP_DEFECTS))
+    def test_paper_figures_identical_with_3x_fewer_calls(
+            self, sram, figure):
+        defects = CHIP_DEFECTS[figure]
+        tester = CountingTester(VirtualTester(DefectBehaviorModel(CMOS018)))
+        runner = ShmooRunner(tester, TEST_11N)
+        volts, periods = default_voltage_axis(), default_period_axis()
+        exact = runner.run(sram, defects, volts, periods)
+        exact_calls = tester.calls
+        assert exact_calls == runner.last_stats.grid_cells
+        tester.reset()
+        traced = runner.run(sram, defects, volts, periods,
+                            strategy="boundary")
+        assert np.array_equal(exact.passed, traced.passed)
+        stats = runner.last_stats
+        assert stats.strategy == "boundary"
+        assert stats.tester_invocations == tester.calls
+        assert not stats.fallback
+        assert stats.crosscheck_invocations > 0
+        # The ISSUE acceptance floor, as a call-count inequality.
+        assert exact_calls >= 3 * tester.calls
+
+    @pytest.mark.parametrize("defect", [
+        bridge(BridgeSite.CELL_NODE_RAIL, 1e3),
+        bridge(BridgeSite.BITLINE_BITLINE, 90e3, polarity=-1),
+        open_defect(OpenSite.CELL_ACCESS, 1e5),
+        open_defect(OpenSite.PERIPHERY_PATH, 1e7),
+    ])
+    def test_property_boundary_equals_full_fill(self, runner, sram,
+                                                defect):
+        """Every stock (row-monotone) defect traces to the exact grid."""
+        volts = np.linspace(0.9, 2.1, 7)
+        periods = np.logspace(np.log10(6e-9), np.log10(110e-9), 11)
+        exact = runner.run(sram, [defect], volts, periods)
+        traced = runner.run(sram, [defect], volts, periods,
+                            strategy="boundary")
+        assert np.array_equal(exact.passed, traced.passed)
+        assert not runner.last_stats.fallback
+
+    def test_adversarial_device_falls_back_to_exact(self, sram):
+        """A non-row-monotone device trips the guard, not the result."""
+        class _Result:
+            def __init__(self, passed):
+                self.passed = passed
+
+        class CheckerboardTester:
+            """Pass/fail alternates along the period axis."""
+
+            def test_device(self, sram, defects, test, condition,
+                            quick=False):
+                return _Result(int(condition.period * 1e9) % 2 == 0)
+
+        runner = ShmooRunner(CheckerboardTester(), TEST_11N,
+                             crosscheck_fraction=1.0)
+        volts = np.linspace(1.0, 2.0, 4)
+        periods = np.linspace(10e-9, 21e-9, 12)
+        exact = runner.run(sram, [], volts, periods)
+        traced = runner.run(sram, [], volts, periods, strategy="boundary")
+        assert runner.last_stats.fallback
+        assert np.array_equal(exact.passed, traced.passed)
 
 
 class TestAxes:
