@@ -40,7 +40,7 @@ python -m repro lint "${lint_flags[@]}" || status=$?
 echo "== docs (dead-link check) =="
 python scripts/check_links.py || status=$?
 
-echo "== docs (public docstrings: repro.runner / repro.perf) =="
+echo "== docs (public docstrings: repro.runner / repro.perf / repro.obs) =="
 python scripts/check_docstrings.py || status=$?
 
 echo "== benchmark smoke (BENCH_campaign.json schema) =="
@@ -77,6 +77,34 @@ for module in src/repro/perf/frontier.py src/repro/tester/shmoo.py; do
         status=1
     fi
 done
+
+echo "== run-journal smoke (campaign --journal -> repro report) =="
+journal_out="$(mktemp /tmp/journal_smoke.XXXXXX.jsonl)"
+ckpt_out="$(mktemp /tmp/journal_smoke_ckpt.XXXXXX.json)"
+rm -f "$ckpt_out"   # campaign run wants to create it
+python -m repro campaign run --rows 8 --columns 2 --bits 4 --sites 60 \
+    --checkpoint "$ckpt_out" --journal "$journal_out" >/dev/null \
+    || status=$?
+# The text report must always render the failure-forensics sections
+# (with "(none)" when clean), and the JSON report must validate.
+report_txt="$(python -m repro report "$journal_out")" || status=$?
+for section in "Quarantines:" "Frontier demotions:"; do
+    if ! grep -qF "$section" <<<"$report_txt"; then
+        echo "journal report: missing '$section' section"
+        status=1
+    fi
+done
+python -m repro report "$journal_out" --format json \
+    | python -c '
+import json, sys
+rep = json.loads(sys.stdin.read())
+assert rep["schema"] == "repro.run-report", rep["schema"]
+assert rep["totals"]["plan_units"] > 0
+assert rep["totals"]["executed_units"] + rep["totals"]["cached_units"] \
+    + rep["totals"]["resumed_units"] == rep["totals"]["plan_units"]
+print("journal report: schema ok,", rep["totals"]["events"], "events")
+' || status=$?
+rm -f "$journal_out" "$ckpt_out"
 
 echo "== pytest (chaos / robustness suite) =="
 python -m pytest -q tests/runner || status=$?

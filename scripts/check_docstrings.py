@@ -22,7 +22,7 @@ import sys
 from pathlib import Path
 
 #: Packages whose public API must be documented.
-PACKAGES = ("src/repro/runner", "src/repro/perf")
+PACKAGES = ("src/repro/runner", "src/repro/perf", "src/repro/obs")
 
 
 def _missing_in(path: Path, root: Path) -> list[str]:

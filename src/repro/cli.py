@@ -68,6 +68,13 @@ def _cmd_shmoo(args: argparse.Namespace) -> int:
         default_voltage_axis,
     )
 
+    bus = None
+    if args.journal:
+        from repro.obs.bus import EventBus
+
+        bus = EventBus(args.journal,
+                       meta={"tool": "shmoo", "test": args.test,
+                             "defect": args.defect or "fault-free"})
     defects = []
     if args.defect:
         if args.defect not in _DEFECT_PRESETS:
@@ -87,8 +94,10 @@ def _cmd_shmoo(args: argparse.Namespace) -> int:
              else "fault-free")
     plot = runner.run(sram, defects, default_voltage_axis(),
                       default_period_axis(), title,
-                      strategy=args.strategy)
+                      strategy=args.strategy, bus=bus)
     print(plot.render())
+    if bus is not None:
+        print(f"run journal: {args.journal} ({len(bus.events)} events)")
     stats = runner.last_stats
     if stats is not None and args.strategy == "boundary":
         print(f"boundary trace: {stats.tester_invocations} tester "
@@ -323,6 +332,7 @@ def _campaign_execute(flow, specs, args: argparse.Namespace) -> int:
         retry=RetryPolicy(max_attempts=args.max_attempts,
                           base_delay=0.0, jitter=0.0),
         workers=args.workers, cache=args.cache, strategy=strategy,
+        journal=args.journal,
         fault_hook=injector.check if injector is not None else None)
     result = runner.run(specs)
     database = CoverageDatabase(result.records)
@@ -356,6 +366,9 @@ def _campaign_execute(flow, specs, args: argparse.Namespace) -> int:
               f"(hit rate {100 * cs['hit_rate']:.0f} %) -- {args.cache}")
     if args.checkpoint:
         print(f"checkpoint: {args.checkpoint}")
+    if args.journal:
+        print(f"run journal: {args.journal} "
+              f"(inspect with: repro report {args.journal})")
     if args.save_db:
         database.save(args.save_db)
         print(f"coverage database written to {args.save_db}")
@@ -405,10 +418,35 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
     print(f"quarantine: {status['quarantined_sites']} site(s)")
     if status["recovered_from_temp"]:
         print("note: recovered from the .tmp sibling")
+    if args.cache:
+        from repro.perf.cache import EvaluationCache
+
+        cache = EvaluationCache.load(args.cache)
+        print(f"cache:      {args.cache} ({len(cache)} entries)")
+        if cache.discarded_corrupt:
+            print("cache:      CORRUPT file(s) discarded:")
+            for entry in cache.corrupt_detail:
+                print(f"cache:        {entry['path']}: {entry['error']}")
+        if cache.recovered_from_temp:
+            print("cache:      recovered from the .tmp sibling")
     return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    if args.journal:
+        from repro.obs.bus import JournalError, read_journal
+        from repro.obs.report import build_report, render_json, render_text
+
+        try:
+            meta, events = read_journal(args.journal)
+        except (FileNotFoundError, JournalError) as exc:
+            print(f"repro report: {exc}", file=sys.stderr)
+            return 2
+        report = build_report(meta, events)
+        output = (render_json(report) if args.format == "json"
+                  else render_text(report))
+        print(output, end="")
+        return 0
     from repro.analysis.report import full_report
 
     print(full_report(n_sites=args.sites, n_devices=args.devices))
@@ -449,6 +487,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "pass/fail boundary by bisection (identical "
                         "plot, far fewer tester invocations; see "
                         "docs/performance.md)")
+    p.add_argument("--journal", metavar="PATH", default=None,
+                   help="write a JSONL run journal of the sweep "
+                        "(inspect with `repro report PATH`; see "
+                        "docs/observability.md)")
     p.set_defaults(func=_cmd_shmoo)
 
     p = sub.add_parser("venn",
@@ -535,6 +577,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "(soak testing; see scripts/soak.sh)")
         cp.add_argument("--chaos-seed", type=int, default=0,
                         help="fault-injection seed")
+        cp.add_argument("--journal", metavar="PATH", default=None,
+                        help="write a JSONL run journal of every unit, "
+                             "retry, quarantine and cache event "
+                             "(default off = zero overhead; inspect "
+                             "with `repro report PATH`; see "
+                             "docs/observability.md)")
 
     cp = csub.add_parser("run", help="start a (checkpointed) campaign")
     cp.add_argument("--rows", type=int, default=512, help="#X rows")
@@ -556,9 +604,26 @@ def build_parser() -> argparse.ArgumentParser:
     cp = csub.add_parser("status", help="inspect a campaign checkpoint")
     cp.add_argument("checkpoint", metavar="CHECKPOINT",
                     help="checkpoint file of the campaign")
+    cp.add_argument("--cache", metavar="PATH", default=None,
+                    help="also inspect this evaluation-cache file "
+                         "(entry count, discarded-corrupt forensics)")
     cp.set_defaults(func=_cmd_campaign_status)
 
-    p = sub.add_parser("report", help="full paper-vs-measured report")
+    p = sub.add_parser(
+        "report",
+        help="full paper-vs-measured report, or render a run journal",
+        description="Without arguments: the paper-vs-measured summary "
+                    "report.  With a journal file (written by "
+                    "`repro campaign run --journal` or `repro shmoo "
+                    "--journal`): the run summary -- per-condition "
+                    "units, retry/quarantine/demotion tables, cache "
+                    "hit rate.  See docs/observability.md.")
+    p.add_argument("journal", nargs="?", metavar="JOURNAL", default=None,
+                   help="JSONL run-journal file to summarise (omit for "
+                        "the paper-vs-measured report)")
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   help="journal-report format (ignored without a "
+                        "journal)")
     p.add_argument("--sites", type=int, default=4000)
     p.add_argument("--devices", type=int, default=11000)
     p.set_defaults(func=_cmd_report)

@@ -264,7 +264,8 @@ class CoverageDatabase:
         return cls(cls._records_from_rows(path, body["records"]))
 
     @classmethod
-    def load(cls, path: str | Path) -> "CoverageDatabase":
+    def load(cls, path: str | Path,
+             bus: Any = None) -> "CoverageDatabase":
         """Load and validate a persisted database.
 
         Accepts both the checksummed envelope written by :meth:`save`
@@ -273,11 +274,23 @@ class CoverageDatabase:
         crash between write and rename), the temp file is recovered
         instead.
 
+        Args:
+            path: Database file location.
+            bus: Optional :class:`~repro.obs.bus.EventBus`.  A corrupt
+                ``.tmp`` sibling that is passed over during recovery is
+                recorded as a ``database.discard_corrupt_tmp`` event
+                (it used to be swallowed silently); the load outcome is
+                unchanged.
+
         Raises:
             FileNotFoundError: neither the file nor a recoverable temp
                 sibling exists.
             DatabaseCorruptError: the file fails JSON parsing, checksum
                 or row validation (the message names path and defect).
+                When both the file and its temp sibling are corrupt,
+                the main file's error is raised and the sibling's is
+                attached as ``__context__`` (and journalled via
+                ``bus``).
         """
         path = Path(path)
         main_error: DatabaseCorruptError | None = None
@@ -287,13 +300,22 @@ class CoverageDatabase:
             except DatabaseCorruptError as exc:
                 main_error = exc
         tmp = temp_path_for(path)
+        tmp_error: DatabaseCorruptError | None = None
         if tmp.exists():
             try:
                 return cls._parse(tmp, tmp.read_text())
-            except DatabaseCorruptError:
-                pass
+            except DatabaseCorruptError as exc:
+                tmp_error = exc
+                if bus is not None:
+                    bus.emit("database.discard_corrupt_tmp",
+                             path=str(tmp), error=exc.defect)
         if main_error is not None:
-            raise main_error
+            raise main_error from tmp_error
+        if tmp_error is not None:
+            # The destination never existed and its only candidate is
+            # corrupt: that is a corruption story, not a missing-file
+            # one, so surface the real defect.
+            raise tmp_error
         raise FileNotFoundError(
             f"no coverage database at {path} "
             f"(and no recoverable {tmp.name})")

@@ -109,7 +109,7 @@ class MemoryTestFlow:
             checkpoint_path=None,
             runner: CampaignRunner | None = None,
             workers: int = 1, cache=None,
-            strategy: str = "exact") -> FlowResult:
+            strategy: str = "exact", journal=None) -> FlowResult:
         """Run the full flow and return database + estimator reports.
 
         Both campaigns execute chunked through the resilient runner
@@ -137,11 +137,16 @@ class MemoryTestFlow:
             strategy: ``"exact"`` or ``"frontier"`` -- the monotone
                 threshold sweep solver (:mod:`repro.perf.frontier`);
                 records are byte-identical either way.
+            journal: Optional JSONL run-journal path (or event bus)
+                recording the campaign's structured event stream
+                (:mod:`repro.obs`); ``None`` keeps observability off
+                with zero overhead.
         """
         specs = self.sweep_specs(bridge_resistances, open_resistances)
         if runner is None:
             runner = self.make_runner(checkpoint_path, workers=workers,
-                                      cache=cache, strategy=strategy)
+                                      cache=cache, strategy=strategy,
+                                      journal=journal)
         result = runner.run(specs)
         database = CoverageDatabase(result.records)
         estimator = FaultCoverageEstimator(database, density=self.density)

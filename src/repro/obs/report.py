@@ -1,0 +1,258 @@
+"""Run reports: fold a journal's event stream into a human summary.
+
+:func:`build_report` replays a run journal (header meta plus ordered
+:class:`~repro.obs.events.ObsEvent` stream) into one JSON-serialisable
+report document; :func:`render_text` and :func:`render_json` format it
+for terminals and machines respectively.  This is the read side of the
+``repro report <journal>`` CLI.
+
+The report is a pure function of the journal, which is itself a pure
+function of what the campaign computed -- so reports inherit the
+journal's determinism and a report regenerated from a resumed or
+4-worker run matches the serial one.
+
+Sections always render (with an explicit ``(none)`` marker when empty)
+so downstream tooling -- ``scripts/check.sh`` greps for the quarantine
+and demotion tables -- never has to distinguish "clean run" from
+"section missing".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.obs.events import ObsEvent
+from repro.runner.atomic import canonical_json
+
+__all__ = [
+    "REPORT_SCHEMA",
+    "REPORT_VERSION",
+    "build_report",
+    "render_json",
+    "render_text",
+]
+
+#: Identity of the report document produced by :func:`build_report`.
+REPORT_SCHEMA = "repro.run-report"
+
+#: Version of the report document layout.
+REPORT_VERSION = 1
+
+
+def build_report(meta: dict[str, Any],
+                 events: Iterable[ObsEvent]) -> dict[str, Any]:
+    """Fold journal events into one report document.
+
+    Args:
+        meta: Journal header metadata (as returned by
+            :func:`repro.obs.bus.read_journal`).
+        events: The journal's events, in sequence order.
+
+    Returns:
+        A JSON-serialisable dict: run totals, per-condition unit
+        table, cache statistics (including corrupt discards), retry /
+        quarantine / frontier-demotion tables, checkpoint activity and
+        -- when present -- a shmoo summary.
+    """
+    events = list(events)
+    totals: dict[str, Any] = {"events": len(events)}
+    conditions: dict[str, dict[str, int]] = {}
+    unit_condition: dict[str, str] = {}
+    cache = {"hits": 0, "misses": 0, "hit_rate": None,
+             "discarded_corrupt": []}
+    retries: dict[str, Any] = {"attempts": 0, "by_unit": {}}
+    quarantines: list[dict[str, Any]] = []
+    demotions: list[dict[str, Any]] = []
+    frontier_groups: list[dict[str, Any]] = []
+    checkpoints = {"saves": 0, "resumes": 0}
+    database = {"discarded_corrupt_tmp": []}
+    shmoo: dict[str, Any] | None = None
+    sources: dict[str, int] = {}
+
+    for event in events:
+        data = event.data
+        if event.name == "run.start":
+            totals["plan_units"] = data["plan_units"]
+        elif event.name == "run.done":
+            for key in ("executed_units", "resumed_units",
+                        "cached_units", "quarantined_sites"):
+                totals[key] = data[key]
+        elif event.name == "unit.start":
+            unit_condition[data["unit"]] = data["condition"]
+        elif event.name == "unit.done":
+            condition = data.get(
+                "condition", unit_condition.get(data["unit"], "?"))
+            row = conditions.setdefault(
+                condition,
+                {"units": 0, "detected": 0, "total": 0, "errors": 0})
+            row["units"] += 1
+            row["detected"] += data["detected"]
+            row["total"] += data["total"]
+            row["errors"] += data["errors"]
+            sources[data["source"]] = sources.get(data["source"], 0) + 1
+        elif event.name == "unit.retry":
+            retries["attempts"] += 1
+            by_unit = retries["by_unit"]
+            by_unit[data["unit"]] = by_unit.get(data["unit"], 0) + 1
+        elif event.name == "unit.quarantine":
+            quarantines.append(dict(data))
+        elif event.name == "cache.hit":
+            cache["hits"] += 1
+        elif event.name == "cache.miss":
+            cache["misses"] += 1
+        elif event.name == "cache.discard_corrupt":
+            cache["discarded_corrupt"].append(dict(data))
+        elif event.name == "checkpoint.save":
+            checkpoints["saves"] += 1
+        elif event.name == "checkpoint.resume":
+            checkpoints["resumes"] += 1
+        elif event.name == "frontier.group":
+            frontier_groups.append(dict(data))
+        elif event.name == "frontier.demote":
+            demotions.append(dict(data))
+        elif event.name == "database.discard_corrupt_tmp":
+            database["discarded_corrupt_tmp"].append(dict(data))
+        elif event.name == "shmoo.start":
+            shmoo = {"strategy": data["strategy"],
+                     "voltages": data["voltages"],
+                     "periods": data["periods"],
+                     "rows": 0, "fallbacks": 0,
+                     "tester_invocations": None}
+        elif event.name == "shmoo.row" and shmoo is not None:
+            shmoo["rows"] += 1
+        elif event.name == "shmoo.fallback" and shmoo is not None:
+            shmoo["fallbacks"] += 1
+        elif event.name == "shmoo.done" and shmoo is not None:
+            shmoo["tester_invocations"] = data["tester_invocations"]
+
+    probes = cache["hits"] + cache["misses"]
+    if probes:
+        cache["hit_rate"] = cache["hits"] / probes
+    return {
+        "schema": REPORT_SCHEMA,
+        "version": REPORT_VERSION,
+        "meta": dict(meta),
+        "totals": totals,
+        "conditions": {name: conditions[name]
+                       for name in sorted(conditions)},
+        "sources": dict(sorted(sources.items())),
+        "cache": cache,
+        "retries": retries,
+        "quarantines": quarantines,
+        "frontier": {"groups": frontier_groups, "demotions": demotions},
+        "checkpoints": checkpoints,
+        "database": database,
+        "shmoo": shmoo,
+    }
+
+
+def render_json(report: dict[str, Any]) -> str:
+    """The report as one canonical-JSON document (machine format)."""
+    return canonical_json(report) + "\n"
+
+
+def _table(header: list[str], rows: list[list[str]]) -> list[str]:
+    """Left-aligned fixed-width text table (header + rows)."""
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    fmt = "  ".join(f"{{:<{w}}}" for w in widths)
+    lines = [fmt.format(*header)]
+    lines.extend(fmt.format(*row) for row in rows)
+    return lines
+
+
+def render_text(report: dict[str, Any]) -> str:
+    """The report as a terminal-friendly multi-section summary."""
+    lines: list[str] = []
+    totals = report["totals"]
+    lines.append(f"Run report ({report['schema']} v{report['version']})")
+    if report["meta"]:
+        meta_bits = ", ".join(
+            f"{k}={v}" for k, v in sorted(report["meta"].items()))
+        lines.append(f"meta: {meta_bits}")
+    lines.append(
+        "totals: plan={} executed={} resumed={} cached={} "
+        "quarantined={}".format(
+            totals.get("plan_units", "?"),
+            totals.get("executed_units", "?"),
+            totals.get("resumed_units", "?"),
+            totals.get("cached_units", "?"),
+            totals.get("quarantined_sites", "?")))
+
+    lines.append("")
+    lines.append("Per-condition units:")
+    if report["conditions"]:
+        rows = [[name, str(row["units"]), str(row["detected"]),
+                 str(row["total"]), str(row["errors"])]
+                for name, row in report["conditions"].items()]
+        lines.extend("  " + ln for ln in _table(
+            ["condition", "units", "detected", "total", "errors"], rows))
+    else:
+        lines.append("  (none)")
+
+    cache = report["cache"]
+    lines.append("")
+    probes = cache["hits"] + cache["misses"]
+    if probes:
+        lines.append(
+            "Cache: hits={} misses={} hit_rate={:.1%}".format(
+                cache["hits"], cache["misses"], cache["hit_rate"]))
+    else:
+        lines.append("Cache: no lookups recorded")
+    lines.append("Corrupt cache discards:")
+    if cache["discarded_corrupt"]:
+        for entry in cache["discarded_corrupt"]:
+            lines.append(f"  {entry['path']}: {entry['error']}")
+    else:
+        lines.append("  (none)")
+
+    retries = report["retries"]
+    lines.append("")
+    lines.append(
+        f"Retries: {retries['attempts']} failed attempt(s) across "
+        f"{len(retries['by_unit'])} unit(s)")
+    for unit, count in sorted(retries["by_unit"].items()):
+        lines.append(f"  {unit}: {count}")
+
+    lines.append("")
+    lines.append("Quarantines:")
+    if report["quarantines"]:
+        rows = [[q["unit"], str(q["site_index"]), str(q["attempts"]),
+                 q["error"]] for q in report["quarantines"]]
+        lines.extend("  " + ln for ln in _table(
+            ["unit", "site", "attempts", "error"], rows))
+    else:
+        lines.append("  (none)")
+
+    lines.append("")
+    lines.append("Frontier demotions:")
+    if report["frontier"]["demotions"]:
+        rows = [[d["kind"], d["condition"], str(d["site_index"]),
+                 d["reason"], d["stage"]]
+                for d in report["frontier"]["demotions"]]
+        lines.extend("  " + ln for ln in _table(
+            ["kind", "condition", "site", "reason", "stage"], rows))
+    else:
+        lines.append("  (none)")
+
+    checkpoints = report["checkpoints"]
+    lines.append("")
+    lines.append("Checkpoints: saves={} resumes={}".format(
+        checkpoints["saves"], checkpoints["resumes"]))
+    for entry in report["database"]["discarded_corrupt_tmp"]:
+        lines.append(
+            f"Discarded corrupt database temp {entry['path']}: "
+            f"{entry['error']}")
+
+    shmoo = report["shmoo"]
+    if shmoo is not None:
+        lines.append("")
+        lines.append(
+            "Shmoo: strategy={} grid={}x{} rows={} fallbacks={} "
+            "tester_invocations={}".format(
+                shmoo["strategy"], shmoo["voltages"], shmoo["periods"],
+                shmoo["rows"], shmoo["fallbacks"],
+                shmoo["tester_invocations"]))
+    return "\n".join(lines) + "\n"

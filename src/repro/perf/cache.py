@@ -138,7 +138,13 @@ class EvaluationCache:
         hits: Number of :meth:`get` calls that found an entry.
         misses: Number of :meth:`get` calls that did not.
         discarded_corrupt: True when :meth:`load` found a cache file it
-            could not validate and started empty instead.
+            could not validate and discarded it (whether it then fell
+            back to the ``.tmp`` sibling or started empty).
+        corrupt_detail: One ``{"path", "error"}`` entry per discarded
+            candidate file, naming the exception that rejected it --
+            the forensic record behind ``discarded_corrupt`` (surfaced
+            as ``cache.discard_corrupt`` journal events and in
+            ``repro campaign status --cache``).
         recovered_from_temp: True when :meth:`load` fell back to the
             ``.tmp`` sibling (crash between fsync and rename).
     """
@@ -148,6 +154,7 @@ class EvaluationCache:
         self.hits = 0
         self.misses = 0
         self.discarded_corrupt = False
+        self.corrupt_detail: list[dict[str, str]] = []
         self.recovered_from_temp = False
         self._dirty = False
 
@@ -182,8 +189,8 @@ class EvaluationCache:
 
         Returns:
             A dict with ``entries``, ``hits``, ``misses``, ``hit_rate``
-            (0.0 when the cache was never queried) and
-            ``discarded_corrupt``.
+            (0.0 when the cache was never queried),
+            ``discarded_corrupt`` and ``corrupt_detail``.
         """
         queries = self.hits + self.misses
         return {
@@ -192,6 +199,7 @@ class EvaluationCache:
             "misses": self.misses,
             "hit_rate": self.hits / queries if queries else 0.0,
             "discarded_corrupt": self.discarded_corrupt,
+            "corrupt_detail": [dict(d) for d in self.corrupt_detail],
         }
 
     # ------------------------------------------------------------------
@@ -230,8 +238,10 @@ class EvaluationCache:
         Resolution order: the destination file if it validates; else the
         ``.tmp`` sibling (crash between fsync and rename); else an empty
         cache.  A corrupt-but-present file sets ``discarded_corrupt``
-        instead of raising -- every cache entry is recomputable, so a
-        bad cache must never stop a campaign.
+        -- with the exception recorded in ``corrupt_detail`` -- instead
+        of raising: every cache entry is recomputable, so a bad cache
+        must never stop a campaign, but the discard must not be silent
+        either.
 
         Args:
             path: Cache file location (may not exist yet).
@@ -240,17 +250,23 @@ class EvaluationCache:
             The loaded (possibly empty) cache.
         """
         path = Path(path)
-        found_corrupt = False
+        detail: list[dict[str, str]] = []
         for candidate in (path, temp_path_for(path)):
             if not candidate.exists():
                 continue
             try:
                 cache = cls._parse(candidate.read_text())
-            except (json.JSONDecodeError, EnvelopeError, OSError):
-                found_corrupt = True
+            except (json.JSONDecodeError, EnvelopeError, OSError) as exc:
+                detail.append({
+                    "path": str(candidate),
+                    "error": f"{type(exc).__name__}: {exc}",
+                })
                 continue
             cache.recovered_from_temp = candidate != path
+            cache.discarded_corrupt = bool(detail)
+            cache.corrupt_detail = detail
             return cache
         cache = cls()
-        cache.discarded_corrupt = found_corrupt
+        cache.discarded_corrupt = bool(detail)
+        cache.corrupt_detail = detail
         return cache

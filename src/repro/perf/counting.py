@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Any
 
-__all__ = ["CountingBehaviorModel", "CountingTester"]
+__all__ = ["CountingBehaviorModel", "CountingEventBus", "CountingTester"]
 
 
 class CountingBehaviorModel:
@@ -100,6 +100,46 @@ class CountingTester:
 
     def __getattr__(self, name: str) -> Any:
         """Uncounted delegation of everything else."""
+        if name == "inner":
+            raise AttributeError(name)
+        return getattr(self.inner, name)
+
+
+class CountingEventBus:
+    """An event bus that counts its ``emit`` invocations.
+
+    Wraps a real :class:`~repro.obs.bus.EventBus` and delegates
+    everything; only ``emit`` is counted.  The observability layer's
+    cost claim -- *journal off means zero event-bus invocations on the
+    hot path* -- becomes a call-count assertion with this wrapper, the
+    same way :class:`CountingBehaviorModel` turns speedup claims into
+    call-count inequalities.
+
+    Args:
+        inner: The :class:`~repro.obs.bus.EventBus` to wrap.
+    """
+
+    def __init__(self, inner: Any) -> None:
+        self.inner = inner
+        self._calls = 0
+
+    @property
+    def calls(self) -> int:
+        """``emit`` calls issued through this wrapper so far."""
+        return self._calls
+
+    def reset(self) -> None:
+        """Zero the call counter."""
+        self._calls = 0
+
+    def emit(self, name: str, **data: Any) -> Any:
+        """Counted delegation to the inner bus."""
+        self._calls += 1
+        return self.inner.emit(name, **data)
+
+    def __getattr__(self, name: str) -> Any:
+        """Uncounted delegation of everything else (``set_meta``,
+        ``flush``, ``render``, ``events``...)."""
         if name == "inner":
             raise AttributeError(name)
         return getattr(self.inner, name)

@@ -25,6 +25,12 @@ quarantined inside the worker; an :class:`InjectedCrash`-style
 ``BaseException`` (or a genuinely dying worker, surfacing as
 ``BrokenProcessPool``) propagates to the caller, and the checkpointed
 prefix makes the campaign resumable -- with or without workers.
+
+Observability (:mod:`repro.obs`) rides the same in-order effect point:
+workers emit **no** events -- every journal entry is derived
+parent-side from the :class:`~repro.runner.evaluate.UnitOutcome` as it
+is consumed in plan order, which is why a 4-worker journal is
+byte-identical to a serial one.
 """
 
 from __future__ import annotations

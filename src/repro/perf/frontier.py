@@ -124,6 +124,18 @@ class FrontierStats:
             the derived row (each demotes its site).
         nonmonotone_rejects: Analytic rows rejected by the monotone
             shape check before any cross-check.
+        demotions: Forensic ledger of every fast-path rejection: one
+            ``{"kind", "condition", "site_index", "reason", "stage",
+            "error"}`` entry per event.  ``reason`` is one of
+            ``lying-model`` (cross-check disagreed), ``non-monotone``
+            (analytic row contradicted its orientation) or
+            ``probe-error`` (a declaration, frontier evaluation or
+            check raised; ``error`` then names the exception).
+            Declaration-stage entries do not bump ``demoted_sites`` --
+            an undeclared site was never on the fast path.
+        group_log: One ``{"kind", "condition", "sites", "cached"}``
+            entry per (kind, condition) group table built or served
+            from cache, in build order.
     """
 
     groups: int = 0
@@ -137,9 +149,24 @@ class FrontierStats:
     crosscheck_invocations: int = 0
     crosscheck_mismatches: int = 0
     nonmonotone_rejects: int = 0
+    demotions: list[dict[str, Any]] = field(default_factory=list)
+    group_log: list[dict[str, Any]] = field(default_factory=list)
 
-    def as_dict(self) -> dict[str, int]:
-        """The counters as a plain JSON-serialisable dict."""
+    def record_demotion(self, kind: DefectKind, condition: Any,
+                        site_index: int, reason: str, stage: str,
+                        error: str | None = None) -> None:
+        """Append one demotion-ledger entry (never drops the cause)."""
+        self.demotions.append({
+            "kind": kind.value,
+            "condition": condition.name,
+            "site_index": site_index,
+            "reason": reason,
+            "stage": stage,
+            "error": error,
+        })
+
+    def as_dict(self) -> dict[str, Any]:
+        """Counters plus ledgers as a plain JSON-serialisable dict."""
         return {
             "groups": self.groups,
             "cached_groups": self.cached_groups,
@@ -152,6 +179,8 @@ class FrontierStats:
             "crosscheck_invocations": self.crosscheck_invocations,
             "crosscheck_mismatches": self.crosscheck_mismatches,
             "nonmonotone_rejects": self.nonmonotone_rejects,
+            "demotions": [dict(d) for d in self.demotions],
+            "group_log": [dict(g) for g in self.group_log],
         }
 
 
@@ -262,21 +291,28 @@ class FrontierUnitEvaluator:
             self.retry, key, sleep=self.sleep, clock=self.clock,
             stats=stats)
 
-    @staticmethod
-    def _declared(behavior: Any, name: str, defect: Defect,
-                  condition: Any) -> Any:
+    def _declared(self, behavior: Any, name: str, defect: Defect,
+                  condition: Any, kind: DefectKind,
+                  site_index: int) -> Any:
         """A model declaration, or ``None`` when absent or raising.
 
         Declarations are capability probes, never obligations: a model
         (or wrapper) without the method, or whose declaration raises,
-        simply routes the site to the exact path.
+        simply routes the site to the exact path.  A *raising*
+        declaration is recorded in the demotion ledger (reason
+        ``probe-error``, stage ``declaration``) rather than swallowed
+        -- the site was never on the fast path, so ``demoted_sites``
+        is not bumped, but the cause must not vanish.
         """
         fn = getattr(behavior, name, None)
         if fn is None:
             return None
         try:
             return fn(defect, condition)
-        except Exception:
+        except Exception as exc:
+            self.stats.record_demotion(
+                kind, condition, site_index, "probe-error", "declaration",
+                error=f"{name}: {type(exc).__name__}: {exc}")
             return None
 
     # ------------------------------------------------------------------
@@ -336,12 +372,24 @@ class FrontierUnitEvaluator:
         cached = self._cached_table(cache_key, len(population), len(grid))
         if cached is not None:
             self.stats.cached_groups += 1
+            self.stats.group_log.append({
+                "kind": kind.value,
+                "condition": condition.name,
+                "sites": len(population),
+                "cached": True,
+            })
             table = _GroupTable(grid, index_of, cached)
             self._groups[gkey] = table
             return table
         decisions = self._derive_group(kind, condition, grid, population)
         self.stats.groups += 1
         self.stats.sites += len(population)
+        self.stats.group_log.append({
+            "kind": kind.value,
+            "condition": condition.name,
+            "sites": len(population),
+            "cached": False,
+        })
         if cache_key is not None:
             self.cache.put(cache_key, {
                 "schema": TABLE_SCHEMA,
@@ -360,31 +408,40 @@ class FrontierUnitEvaluator:
         for site_index, site in enumerate(population):
             row: list[bool] | None = None
             frontier = self._declared(behavior, "resistance_frontier",
-                                      site, condition)
+                                      site, condition, kind, site_index)
             if frontier is not None:
                 try:
                     row = [bool(frontier.detects(r)) for r in grid]
-                except Exception:
+                except Exception as exc:
                     row = None
                     self.stats.demoted_sites += 1
+                    self.stats.record_demotion(
+                        kind, condition, site_index, "probe-error",
+                        "analytic",
+                        error=f"{type(exc).__name__}: {exc}")
                 if row is not None and not _is_monotone(
                         row, frontier.orientation):
                     # The closed form contradicts its own declared
                     # orientation: distrust it entirely.
                     self.stats.nonmonotone_rejects += 1
                     self.stats.demoted_sites += 1
+                    self.stats.record_demotion(
+                        kind, condition, site_index, "non-monotone",
+                        "shape-check")
                     row = None
                 elif row is not None:
                     self.stats.analytic_sites += 1
             if row is None and frontier is None:
                 orientation = self._declared(
-                    behavior, "resistance_monotonicity", site, condition)
+                    behavior, "resistance_monotonicity", site, condition,
+                    kind, site_index)
                 if orientation in _ORIENTATIONS:
                     row = self._bisect_row(site, condition, grid,
                                            orientation,
                                            f"frontier:{kind.value}:"
                                            f"{condition.name}"
-                                           f"#site{site_index}")
+                                           f"#site{site_index}",
+                                           kind, site_index)
                     if row is not None:
                         self.stats.bisection_sites += 1
                 else:
@@ -398,14 +455,17 @@ class FrontierUnitEvaluator:
 
     def _bisect_row(self, site: Defect, condition: Any,
                     grid: Sequence[float], orientation: str,
-                    key: str) -> list[bool] | None:
+                    key: str, kind: DefectKind,
+                    site_index: int) -> list[bool] | None:
         """Detection row by bisection over a declared-monotone axis.
 
         Locates the first index past the frontier with O(log |grid|)
         exact ``fails_condition`` calls and floods the rest of the row.
         Returns ``None`` (exact fallback) when an evaluation exhausts
-        its retries -- the per-unit path will retry and, if still
-        failing, quarantine the site with the exact path's semantics.
+        its retries -- recorded in the demotion ledger (reason
+        ``probe-error``, stage ``bisection``); the per-unit path will
+        retry and, if still failing, quarantine the site with the exact
+        path's semantics.
         """
         # Normalise to "find the first True index" by flipping the
         # detected_below row (True prefix -> True suffix).
@@ -438,7 +498,10 @@ class FrontierUnitEvaluator:
                     else:
                         lo = mid
                 first = hi
-        except RetryExhaustedError:
+        except RetryExhaustedError as exc:
+            self.stats.record_demotion(
+                kind, condition, site_index, "probe-error", "bisection",
+                error=f"{type(exc).__name__}: {exc}")
             return None
         row = [j >= first for j in range(n)]
         if flip:
@@ -478,14 +541,22 @@ class FrontierUnitEvaluator:
                     f"frontier-check:{kind.value}:{condition.name}"
                     f"#site{site_index}@{grid[j]!r}",
                     self._pending_group_stats)
-            except RetryExhaustedError:
+            except RetryExhaustedError as exc:
                 decisions[site_index] = None
                 self.stats.demoted_sites += 1
+                self.stats.record_demotion(
+                    kind, condition, site_index, "probe-error",
+                    "crosscheck", error=f"{type(exc).__name__}: {exc}")
                 continue
             if exact != row[j]:
                 decisions[site_index] = None
                 self.stats.crosscheck_mismatches += 1
                 self.stats.demoted_sites += 1
+                self.stats.record_demotion(
+                    kind, condition, site_index, "lying-model",
+                    "crosscheck",
+                    error=f"derived row says {row[j]}, exact says "
+                          f"{exact} at R={grid[j]!r}")
 
     # ------------------------------------------------------------------
     # Unit evaluation

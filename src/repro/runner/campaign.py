@@ -107,6 +107,11 @@ class CampaignResult:
         frontier_stats: Counters of the frontier sweep solver
             (:class:`~repro.perf.frontier.FrontierStats` as a dict;
             ``None`` unless ``strategy="frontier"`` evaluated units).
+        metrics: Snapshot of the run's
+            :class:`~repro.obs.metrics.MetricsRegistry` (``None``
+            unless a journal was requested -- the registry only exists
+            when observability is on, keeping the default path
+            zero-overhead).
     """
 
     records: list[CoverageRecord]
@@ -117,6 +122,7 @@ class CampaignResult:
     retry_stats: RetryStats = field(default_factory=RetryStats)
     cache_stats: dict[str, Any] | None = None
     frontier_stats: dict[str, Any] | None = None
+    metrics: dict[str, Any] | None = None
 
     @property
     def total_errors(self) -> int:
@@ -196,6 +202,16 @@ class CampaignRunner:
             would duplicate per worker), so it rejects ``workers > 1``.
         frontier_policy: Cross-check knobs of the frontier strategy
             (:class:`~repro.perf.frontier.FrontierPolicy`).
+        journal: Observability sink (:mod:`repro.obs`).  ``None``
+            (default) disables it entirely -- the hot path then makes
+            zero event-bus invocations.  A path writes a JSONL run
+            journal there (flushed atomically alongside every
+            checkpoint save); an :class:`~repro.obs.bus.EventBus`-like
+            instance is used as-is (tests pass counting wrappers).
+            Every event is derived *in the parent* at the in-order
+            effect point from the outcome objects workers send back,
+            so journals are byte-identical across serial and
+            multi-worker runs and never contain wall-clock reads.
         sleep, clock: Injectable time sources for the retry machinery
             (tests pass fakes; production uses the real ones).
     """
@@ -212,6 +228,7 @@ class CampaignRunner:
                  fault_hook: Callable[[str], None] | None = None,
                  strategy: str = "exact",
                  frontier_policy: Any = None,
+                 journal: Any = None,
                  sleep: Callable[[float], None] = time.sleep,
                  clock: Callable[[], float] = time.monotonic) -> None:
         if checkpoint_every < 1:
@@ -241,9 +258,20 @@ class CampaignRunner:
         self.fault_hook = fault_hook
         self.strategy = strategy
         self.frontier_policy = frontier_policy
+        self.journal = journal
         self.sleep = sleep
         self.clock = clock
         self._frontier_evaluator: Any = None
+
+    def _journal_bus(self) -> Any:
+        """Resolve the ``journal`` argument to an event bus (or None)."""
+        if self.journal is None:
+            return None
+        if isinstance(self.journal, (str, Path)):
+            from repro.obs.bus import EventBus
+
+            return EventBus(Path(self.journal))
+        return self.journal
 
     @staticmethod
     def _resolve_cache(cache: "EvaluationCache | str | Path | None",
@@ -393,7 +421,10 @@ class CampaignRunner:
             The assembled :class:`CampaignResult`.
         """
         units = self.plan(specs)
-        ckpt = self._load_or_new_checkpoint(self.meta_for(specs))
+        meta = self.meta_for(specs)
+        resuming = (self.checkpoint_path is not None
+                    and self.checkpoint_path.exists())
+        ckpt = self._load_or_new_checkpoint(meta)
         result = CampaignResult(records=[],
                                 quarantine=list(ckpt.quarantine))
         keys, hits = self._cache_lookup(units, ckpt)
@@ -401,19 +432,54 @@ class CampaignRunner:
                    if not ckpt.is_complete(u.unit_id)
                    and u.unit_id not in hits]
         outcomes = self._outcomes(units, pending)
+        bus = self._journal_bus()
+        metrics: Any = None
+        if bus is not None:
+            from repro.obs.metrics import MetricsRegistry
+
+            metrics = MetricsRegistry()
+            # Journal metadata is the campaign fingerprint minus the
+            # bulky sweep table -- and, by the determinism contract,
+            # minus every execution knob (workers, cache, strategy), so
+            # serial and parallel journals stay byte-identical.
+            bus.set_meta({k: v for k, v in meta.items()
+                          if k != "sweeps"})
+            bus.emit("run.start", plan_units=len(units))
+            if self.cache is not None:
+                for entry in self.cache.corrupt_detail:
+                    bus.emit("cache.discard_corrupt",
+                             path=entry["path"], error=entry["error"])
+                    metrics.inc("cache.discarded_corrupt")
+            if resuming:
+                status = ckpt.status()
+                bus.emit("checkpoint.resume",
+                         completed_units=status["completed_units"],
+                         recovered_from_temp=status[
+                             "recovered_from_temp"])
         dirty = 0
+        processed = 0
         for unit in units:
             unit_id = unit.unit_id
             if ckpt.is_complete(unit_id):
-                result.records.append(
-                    record_from_payload(ckpt.result_for(unit_id)))
+                record = record_from_payload(ckpt.result_for(unit_id))
+                result.records.append(record)
                 result.resumed_units += 1
+                processed += 1
+                if bus is not None:
+                    bus.emit("unit.resumed", unit=unit_id)
+                    self._emit_unit_done(bus, metrics, unit_id,
+                                         "checkpoint", record)
                 continue
             if unit_id in hits:
                 payload = hits[unit_id]
-                result.records.append(record_from_payload(payload))
+                record = record_from_payload(payload)
+                result.records.append(record)
                 result.cached_units += 1
                 ckpt.record_unit(unit_id, payload)
+                if bus is not None:
+                    bus.emit("cache.hit", unit=unit_id)
+                    self._emit_unit_done(bus, metrics, unit_id,
+                                         "cache", record)
             else:
                 outcome = next(outcomes)
                 payload = record_to_payload(outcome.record)
@@ -425,20 +491,102 @@ class CampaignRunner:
                 if (self.cache is not None
                         and outcome.record.errors == 0):
                     self.cache.put(keys[unit_id], payload)
+                if bus is not None:
+                    self._emit_executed(bus, metrics, unit, keys,
+                                        outcome)
             dirty += 1
+            processed += 1
             if self.checkpoint_path is not None and (
                     dirty >= self.checkpoint_every):
                 ckpt.save(self.checkpoint_path, fault_hook=self.fault_hook)
                 dirty = 0
                 self._save_cache()
+                if bus is not None:
+                    bus.emit("checkpoint.save", completed_units=processed)
+                    metrics.inc("checkpoint.saves")
+                    bus.flush()
         if self.checkpoint_path is not None and dirty:
             ckpt.save(self.checkpoint_path, fault_hook=self.fault_hook)
+            if bus is not None:
+                bus.emit("checkpoint.save", completed_units=processed)
+                metrics.inc("checkpoint.saves")
         self._save_cache()
         if self.cache is not None:
             result.cache_stats = self.cache.stats()
         if self._frontier_evaluator is not None:
             result.frontier_stats = self._frontier_evaluator.stats.as_dict()
+        if bus is not None:
+            self._emit_run_done(bus, metrics, result)
+            result.metrics = metrics.snapshot()
+            bus.flush()
         return result
+
+    # ------------------------------------------------------------------
+    # Observability (all emission happens parent-side, in plan order)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _emit_unit_done(bus: Any, metrics: Any, unit_id: str,
+                        source: str, record: CoverageRecord) -> None:
+        """Emit one unit's terminal event and count it.
+
+        ``source`` names where the record came from (``checkpoint``,
+        ``cache`` or ``executed``); the payload carries the condition
+        so reports can build per-condition tables without a join.
+        """
+        bus.emit("unit.done", unit=unit_id, source=source,
+                 detected=record.detected, total=record.total,
+                 errors=record.errors, condition=record.condition)
+        metrics.inc(f"units.{source}")
+
+    def _emit_executed(self, bus: Any, metrics: Any, unit: WorkUnit,
+                       keys: dict[str, str],
+                       outcome: UnitOutcome) -> None:
+        """Replay one executed unit's outcome into the journal.
+
+        This is the in-order effect point: the outcome object is the
+        worker's complete account of the unit (record, quarantine
+        ledger, retry snapshot), so deriving events here -- instead of
+        in the worker -- keeps journals byte-identical across worker
+        counts and the hot path free of any bus traffic.
+        """
+        unit_id = unit.unit_id
+        bus.emit("unit.start", unit=unit_id, kind=unit.kind.value,
+                 resistance=unit.resistance,
+                 condition=unit.condition.name)
+        if self.cache is not None and unit_id in keys:
+            bus.emit("cache.miss", unit=unit_id)
+        for message in outcome.stats.error_log():
+            bus.emit("unit.retry", unit=unit_id, error=message)
+        for entry in outcome.quarantine:
+            bus.emit("unit.quarantine", unit=unit_id,
+                     site_index=entry["site_index"],
+                     attempts=entry["attempts"], error=entry["error"])
+        # Merge the per-unit (per-worker) retry snapshot here, at the
+        # same point result.retry_stats absorbs it.
+        metrics.inc("retry.calls", outcome.stats.calls)
+        metrics.inc("retry.retries", outcome.stats.retries)
+        metrics.inc("retry.exhausted", outcome.stats.exhausted)
+        metrics.inc("quarantine.sites", len(outcome.quarantine))
+        self._emit_unit_done(bus, metrics, unit_id, "executed",
+                             outcome.record)
+
+    def _emit_run_done(self, bus: Any, metrics: Any,
+                       result: CampaignResult) -> None:
+        """Emit the frontier ledgers and the run's terminal event."""
+        if result.frontier_stats is not None:
+            for group in result.frontier_stats["group_log"]:
+                bus.emit("frontier.group", **group)
+            for d in result.frontier_stats["demotions"]:
+                bus.emit("frontier.demote", **d)
+                metrics.inc(f"frontier.demote.{d['reason']}")
+        if result.cache_stats is not None:
+            metrics.set_gauge("cache.hit_rate",
+                              result.cache_stats["hit_rate"])
+        bus.emit("run.done",
+                 executed_units=result.executed_units,
+                 resumed_units=result.resumed_units,
+                 cached_units=result.cached_units,
+                 quarantined_sites=len(result.quarantine))
 
     # ------------------------------------------------------------------
     # Introspection

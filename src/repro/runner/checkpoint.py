@@ -27,6 +27,11 @@ Corruption handling on load, in order:
    (crash between fsync and rename) -> recover from the temp file;
 3. otherwise -> :class:`CheckpointCorruptError` naming the path and the
    specific defect (truncated JSON, checksum mismatch, missing key...).
+
+When a run journal is enabled (:mod:`repro.obs`), the runner mirrors
+this lifecycle as ``checkpoint.save`` / ``checkpoint.resume`` events
+-- including the temp-file recovery case, which ``status()`` reports
+as ``recovered_from_temp``.
 """
 
 from __future__ import annotations

@@ -18,6 +18,12 @@ parallel-equals-serial determinism guarantee (``docs/performance.md``):
 so a unit's :class:`~repro.ifa.flow.CoverageRecord` is a pure function
 of the unit itself, regardless of which process evaluates it or in what
 order.
+
+:class:`UnitOutcome` is also the unit of observability: it carries
+everything the run journal (:mod:`repro.obs`) reports about a unit --
+record, retry statistics, quarantine entries -- so events are emitted
+once, parent-side, when the outcome is consumed, never from inside
+evaluation.
 """
 
 from __future__ import annotations

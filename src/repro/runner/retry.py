@@ -131,13 +131,54 @@ class RetryStats:
         retries: Number of additional attempts made after a failure.
         exhausted: Calls that failed every attempt (or hit a deadline).
         errors: Human-readable ``key: ExcType: message`` strings, one
-            per failed attempt, oldest first.
+            per failed attempt, oldest first.  Bounded: the list keeps
+            the first :data:`ERRORS_HEAD` and the most recent
+            :data:`ERRORS_TAIL` messages; anything between is dropped
+            and counted in ``errors_elided``, so a chaos soak's
+            millions of injected faults cannot balloon the campaign
+            result (or anything derived from it).  Under the cap the
+            list is byte-identical to the unbounded behaviour.
+        errors_elided: Messages dropped by the cap (0 under the cap).
     """
+
+    #: Oldest error messages always retained.
+    ERRORS_HEAD = 8
+    #: Most recent error messages always retained.
+    ERRORS_TAIL = 8
 
     calls: int = 0
     retries: int = 0
     exhausted: int = 0
     errors: list[str] = field(default_factory=list)
+    errors_elided: int = 0
+
+    def record_error(self, message: str) -> None:
+        """Append one failed-attempt message, enforcing the cap.
+
+        Keeps the first ``ERRORS_HEAD`` and last ``ERRORS_TAIL``
+        messages; once full, the oldest *tail* message is dropped (and
+        counted in ``errors_elided``) to make room, so the head stays
+        frozen and the tail slides.
+        """
+        if len(self.errors) < self.ERRORS_HEAD + self.ERRORS_TAIL:
+            self.errors.append(message)
+            return
+        del self.errors[self.ERRORS_HEAD]
+        self.errors.append(message)
+        self.errors_elided += 1
+
+    def error_log(self) -> list[str]:
+        """The error messages, with an elision marker when capped.
+
+        Returns:
+            ``errors`` verbatim under the cap; otherwise the head,
+            a ``... N error(s) elided ...`` marker, then the tail.
+        """
+        if not self.errors_elided:
+            return list(self.errors)
+        return (self.errors[:self.ERRORS_HEAD]
+                + [f"... {self.errors_elided} error(s) elided ..."]
+                + self.errors[self.ERRORS_HEAD:])
 
     def merge(self, other: "RetryStats") -> None:
         """Fold another counter set into this one (in call order).
@@ -145,7 +186,9 @@ class RetryStats:
         Used by the campaign runner to combine per-unit counters --
         accumulated independently per unit (and per worker process)
         -- into one campaign-wide tally whose totals and error order
-        match a serial run.
+        match a serial run.  The retained messages are replayed through
+        :meth:`record_error`, so the merged ledger honours the same cap
+        a serial accumulation would.
 
         Args:
             other: Counters to add; left unmodified.
@@ -153,7 +196,9 @@ class RetryStats:
         self.calls += other.calls
         self.retries += other.retries
         self.exhausted += other.exhausted
-        self.errors.extend(other.errors)
+        self.errors_elided += other.errors_elided
+        for message in other.errors:
+            self.record_error(message)
 
 
 def run_with_retry(fn: Callable[[], T], policy: RetryPolicy, key: str,
@@ -187,7 +232,7 @@ def run_with_retry(fn: Callable[[], T], policy: RetryPolicy, key: str,
         except policy.retryable as exc:
             causes.append(exc)
             if stats is not None:
-                stats.errors.append(f"{key}: {type(exc).__name__}: {exc}")
+                stats.record_error(f"{key}: {type(exc).__name__}: {exc}")
             if attempt == policy.max_attempts:
                 break
             delay = policy.delay_for(key, attempt)

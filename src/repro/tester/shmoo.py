@@ -199,7 +199,8 @@ class ShmooRunner:
     def run(self, sram: Sram, defects: list[Defect],
             voltages: np.ndarray | list[float],
             periods: np.ndarray | list[float],
-            title: str = "", strategy: str = "exact") -> ShmooPlot:
+            title: str = "", strategy: str = "exact",
+            bus=None) -> ShmooPlot:
         """Fill the shmoo grid (quick behavioural mode per point).
 
         Args:
@@ -215,6 +216,15 @@ class ShmooRunner:
                 check disagrees.  Both return byte-identical grids for
                 row-monotone devices -- which every stock defect model
                 is -- and ``last_stats`` reports the invocation counts.
+            bus: Optional :class:`~repro.obs.bus.EventBus`.  Emits
+                ``shmoo.start``, one ``shmoo.row`` per filled voltage
+                row (its first passing period index, or ``None`` for
+                an all-fail row), ``shmoo.fallback`` when the
+                consistency sample triggers the exact refill (the
+                refilled rows are then journalled again -- the journal
+                records what actually ran) and ``shmoo.done`` with the
+                tester-invocation total.  ``None`` (default) emits
+                nothing.
 
         Returns:
             The filled :class:`ShmooPlot`.
@@ -229,13 +239,21 @@ class ShmooRunner:
         periods = np.sort(np.asarray(periods, dtype=float))
         stats = ShmooRunStats(strategy=strategy,
                               grid_cells=voltages.size * periods.size)
+        if bus is not None:
+            bus.emit("shmoo.start", strategy=strategy,
+                     voltages=int(voltages.size),
+                     periods=int(periods.size))
         if strategy == "boundary":
             passed = self._fill_boundary(sram, defects, voltages, periods,
-                                         stats)
+                                         stats, bus)
         else:
             passed = self._fill_exact(sram, defects, voltages, periods,
-                                      stats)
+                                      stats, bus)
         self.last_stats = stats
+        if bus is not None:
+            bus.emit("shmoo.done",
+                     tester_invocations=stats.tester_invocations)
+            bus.flush()
         return ShmooPlot(voltages, periods, passed, title)
 
     # ------------------------------------------------------------------
@@ -249,20 +267,31 @@ class ShmooRunner:
         return bool(self.tester.test_device(sram, defects, self.test,
                                             condition, quick=True).passed)
 
+    @staticmethod
+    def _emit_row(bus, i: int, vdd: float, first: int, n: int) -> None:
+        """One ``shmoo.row`` event (``first_pass`` None = all-fail)."""
+        if bus is not None:
+            bus.emit("shmoo.row", row=i, vdd=float(vdd),
+                     first_pass=int(first) if first < n else None)
+
     def _fill_exact(self, sram: Sram, defects: list[Defect],
                     voltages: np.ndarray, periods: np.ndarray,
-                    stats: ShmooRunStats) -> np.ndarray:
+                    stats: ShmooRunStats, bus=None) -> np.ndarray:
         """Test every cell of the grid."""
         passed = np.zeros((voltages.size, periods.size), dtype=bool)
         for i, vdd in enumerate(voltages):
             for j, period in enumerate(periods):
                 passed[i, j] = self._point(sram, defects, vdd, period,
                                            stats)
+            row = np.flatnonzero(passed[i, :])
+            self._emit_row(bus, i, vdd,
+                           int(row[0]) if row.size else periods.size,
+                           periods.size)
         return passed
 
     def _fill_boundary(self, sram: Sram, defects: list[Defect],
                        voltages: np.ndarray, periods: np.ndarray,
-                       stats: ShmooRunStats) -> np.ndarray:
+                       stats: ShmooRunStats, bus=None) -> np.ndarray:
         """Trace each row's boundary, flood the rest, verify a sample."""
         n = periods.size
         passed = np.zeros((voltages.size, n), dtype=bool)
@@ -274,11 +303,14 @@ class ShmooRunner:
                 n, hint)
             passed[i, first:] = True
             hint = first
+            self._emit_row(bus, i, vdd, first, n)
         if not self._consistent(sram, defects, voltages, periods, passed,
                                 stats):
             stats.fallback = True
+            if bus is not None:
+                bus.emit("shmoo.fallback")
             return self._fill_exact(sram, defects, voltages, periods,
-                                    stats)
+                                    stats, bus)
         return passed
 
     @staticmethod

@@ -181,6 +181,33 @@ class TestCorruption:
         with pytest.raises(DatabaseCorruptError):
             CoverageDatabase.load(path)
 
+    def test_corrupt_temp_discard_is_journalled(self, db, tmp_path):
+        """The passed-over corrupt .tmp used to vanish without a trace;
+        with a bus it becomes a database.discard_corrupt_tmp event."""
+        from repro.obs import EventBus
+
+        path = tmp_path / "coverage.json"
+        db.save(path)
+        path.write_text("{torn")
+        tmp = temp_path_for(path)
+        tmp.write_text("also torn")
+        bus = EventBus()
+        with pytest.raises(DatabaseCorruptError, match=str(path)):
+            CoverageDatabase.load(path, bus=bus)
+        (event,) = bus.events
+        assert event.name == "database.discard_corrupt_tmp"
+        assert event.data["path"] == str(tmp)
+        assert "JSON" in event.data["error"]
+
+    def test_corrupt_temp_with_missing_main_raises_corruption(
+            self, db, tmp_path):
+        """A lone corrupt .tmp is a corruption story, not file-not-found
+        (the old code raised a misleading FileNotFoundError here)."""
+        path = tmp_path / "coverage.json"
+        temp_path_for(path).write_text("{torn")
+        with pytest.raises(DatabaseCorruptError):
+            CoverageDatabase.load(path)
+
 
 class TestIncrementalAdd:
     def test_add_rebuilds_index(self, db):

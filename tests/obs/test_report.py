@@ -1,0 +1,126 @@
+"""Tests for repro.obs.report: folding events into run summaries."""
+
+import json
+
+from repro.obs import (
+    EventBus,
+    build_report,
+    render_json,
+    render_text,
+)
+
+
+def synthetic_bus():
+    """A hand-built event stream exercising every report section."""
+    bus = EventBus(meta={"seed": 11})
+    bus.emit("run.start", plan_units=3)
+    bus.emit("cache.discard_corrupt", path="/c.json",
+             error="CacheCorruptError: bad checksum")
+    bus.emit("checkpoint.resume", completed_units=1,
+             recovered_from_temp=True)
+    bus.emit("unit.resumed", unit="bridge:1e3:VLV")
+    bus.emit("unit.done", unit="bridge:1e3:VLV", source="checkpoint",
+             detected=5, total=10, errors=0, condition="VLV")
+    bus.emit("cache.hit", unit="bridge:1e3:Vmax")
+    bus.emit("unit.done", unit="bridge:1e3:Vmax", source="cache",
+             detected=6, total=10, errors=0, condition="Vmax")
+    bus.emit("unit.start", unit="bridge:2e3:VLV", kind="bridge",
+             resistance=2e3, condition="VLV")
+    bus.emit("cache.miss", unit="bridge:2e3:VLV")
+    bus.emit("unit.retry", unit="bridge:2e3:VLV",
+             error="site 3: RuntimeError: boom")
+    bus.emit("unit.retry", unit="bridge:2e3:VLV",
+             error="site 3: RuntimeError: boom again")
+    bus.emit("unit.quarantine", unit="bridge:2e3:VLV", site_index=3,
+             attempts=2, error="RuntimeError: boom again")
+    bus.emit("unit.done", unit="bridge:2e3:VLV", source="executed",
+             detected=4, total=10, errors=1, condition="VLV")
+    bus.emit("frontier.group", kind="bridge", condition="VLV",
+             sites=10, cached=False)
+    bus.emit("frontier.demote", kind="bridge", condition="VLV",
+             site_index=7, reason="lying-model", stage="crosscheck")
+    bus.emit("checkpoint.save", completed_units=3)
+    bus.emit("database.discard_corrupt_tmp", path="/db.json.tmp",
+             error="invalid/truncated JSON")
+    bus.emit("run.done", executed_units=1, resumed_units=1,
+             cached_units=1, quarantined_sites=1)
+    return bus
+
+
+class TestBuildReport:
+    def test_totals_and_sections(self):
+        bus = synthetic_bus()
+        report = build_report(bus.meta, bus.events)
+        assert report["schema"] == "repro.run-report"
+        assert report["version"] == 1
+        assert report["meta"] == {"seed": 11}
+        assert report["totals"] == {
+            "events": 18, "plan_units": 3, "executed_units": 1,
+            "resumed_units": 1, "cached_units": 1, "quarantined_sites": 1}
+        assert report["sources"] == {
+            "cache": 1, "checkpoint": 1, "executed": 1}
+        assert report["conditions"]["VLV"] == {
+            "units": 2, "detected": 9, "total": 20, "errors": 1}
+        assert report["cache"]["hits"] == 1
+        assert report["cache"]["misses"] == 1
+        assert report["cache"]["hit_rate"] == 0.5
+        assert report["cache"]["discarded_corrupt"][0]["path"] == "/c.json"
+        assert report["retries"]["attempts"] == 2
+        assert report["retries"]["by_unit"] == {"bridge:2e3:VLV": 2}
+        assert report["quarantines"][0]["site_index"] == 3
+        assert report["frontier"]["demotions"][0]["reason"] == "lying-model"
+        assert report["checkpoints"] == {"saves": 1, "resumes": 1}
+        assert report["database"]["discarded_corrupt_tmp"][0][
+            "path"] == "/db.json.tmp"
+        assert report["shmoo"] is None
+
+    def test_empty_journal_reports_cleanly(self):
+        report = build_report({}, [])
+        assert report["totals"] == {"events": 0}
+        assert report["cache"]["hit_rate"] is None
+        assert report["conditions"] == {}
+
+    def test_shmoo_section(self):
+        bus = EventBus()
+        bus.emit("shmoo.start", strategy="boundary", voltages=4, periods=6)
+        bus.emit("shmoo.row", row=0, vdd=0.8, first_pass=3)
+        bus.emit("shmoo.row", row=1, vdd=0.9, first_pass=None)
+        bus.emit("shmoo.fallback")
+        bus.emit("shmoo.done", tester_invocations=17)
+        report = build_report({}, bus.events)
+        assert report["shmoo"] == {
+            "strategy": "boundary", "voltages": 4, "periods": 6,
+            "rows": 2, "fallbacks": 1, "tester_invocations": 17}
+
+
+class TestRendering:
+    def test_text_always_prints_forensics_sections(self):
+        """check.sh greps these headers; they must render when clean."""
+        text = render_text(build_report({}, []))
+        assert "Quarantines:\n  (none)" in text
+        assert "Frontier demotions:\n  (none)" in text
+        assert "Corrupt cache discards:\n  (none)" in text
+
+    def test_text_renders_populated_tables(self):
+        bus = synthetic_bus()
+        text = render_text(build_report(bus.meta, bus.events))
+        assert "lying-model" in text
+        assert "crosscheck" in text
+        assert "bridge:2e3:VLV" in text
+        assert "hit_rate=50.0%" in text
+        assert "/db.json.tmp" in text
+        assert "(none)" not in text.split("Quarantines:")[1].split(
+            "\n\n")[0]
+
+    def test_json_is_canonical_and_parseable(self):
+        bus = synthetic_bus()
+        report = build_report(bus.meta, bus.events)
+        doc = json.loads(render_json(report))
+        assert doc == json.loads(render_json(report))
+        assert doc["schema"] == "repro.run-report"
+
+    def test_report_is_pure_function_of_journal(self):
+        bus = synthetic_bus()
+        a = render_json(build_report(bus.meta, bus.events))
+        b = render_json(build_report(bus.meta, bus.events))
+        assert a == b

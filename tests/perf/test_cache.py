@@ -77,7 +77,7 @@ class TestCacheBasics:
         assert cache.get("k") == {"detected": 5}
         assert cache.stats() == {
             "entries": 1, "hits": 1, "misses": 1, "hit_rate": 0.5,
-            "discarded_corrupt": False,
+            "discarded_corrupt": False, "corrupt_detail": [],
         }
 
     def test_get_returns_a_copy(self):
@@ -133,6 +133,36 @@ class TestCachePersistence:
         loaded = EvaluationCache.load(path)
         assert loaded.entries == {"k": {"detected": 1}}
         assert loaded.recovered_from_temp
+        assert not loaded.discarded_corrupt
+        assert loaded.corrupt_detail == []
+
+    def test_corrupt_detail_names_file_and_exception(self, tmp_path):
+        """The discard forensics say *which* file died of *what*."""
+        path = tmp_path / "cache.json"
+        path.write_text("not json")
+        cache = EvaluationCache.load(path)
+        assert cache.discarded_corrupt
+        (entry,) = cache.corrupt_detail
+        assert entry["path"] == str(path)
+        assert entry["error"]  # "<ExcType>: <message>"
+        assert ":" in entry["error"]
+        assert cache.stats()["corrupt_detail"] == [entry]
+
+    def test_corrupt_main_with_valid_temp_still_reports_discard(
+            self, tmp_path):
+        """Temp recovery must not hide that the main file was corrupt."""
+        path = tmp_path / "cache.json"
+        cache = EvaluationCache()
+        cache.put("k", {"detected": 1})
+        cache.save(path)
+        path.rename(temp_path_for(path))
+        path.write_text("garbage")
+        loaded = EvaluationCache.load(path)
+        assert loaded.entries == {"k": {"detected": 1}}
+        assert loaded.recovered_from_temp
+        assert loaded.discarded_corrupt
+        (entry,) = loaded.corrupt_detail
+        assert entry["path"] == str(path)
 
 
 class TestRunnerIntegration:

@@ -173,6 +173,12 @@ class TestFallbacks:
         stats = frontier.frontier_stats
         assert stats["crosscheck_mismatches"] > 0
         assert stats["demoted_sites"] > 0
+        # The demotion ledger says why each site fell off the fast path.
+        assert stats["demotions"]
+        for entry in stats["demotions"]:
+            assert entry["reason"] == "lying-model"
+            assert entry["stage"] == "crosscheck"
+            assert "derived row says" in entry["error"]
 
     def test_nonmonotone_frontier_rejected_by_shape_check(
             self, counting_campaign):
@@ -186,6 +192,10 @@ class TestFallbacks:
         stats = frontier.frontier_stats
         assert stats["nonmonotone_rejects"] == stats["sites"]
         assert stats["analytic_sites"] == 0
+        assert {d["reason"] for d in stats["demotions"]} == {
+            "non-monotone"}
+        assert {d["stage"] for d in stats["demotions"]} == {
+            "shape-check"}
 
 
 class TestRunnerIntegration:

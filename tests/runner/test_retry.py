@@ -136,3 +136,63 @@ class TestRunWithRetry:
         assert "deadline" in str(info.value)
         # 10 + 10 sleeps fit in 25 s; a third would overrun.
         assert fn.calls == 3
+
+
+class TestErrorCap:
+    """RetryStats.errors is bounded: head + tail kept, middle elided."""
+
+    CAP = RetryStats.ERRORS_HEAD + RetryStats.ERRORS_TAIL
+
+    def test_under_cap_identical_to_plain_append(self):
+        """Regression: the cap must be invisible until it triggers."""
+        stats = RetryStats()
+        plain = []
+        for i in range(self.CAP):
+            msg = f"k: RuntimeError: boom {i}"
+            stats.record_error(msg)
+            plain.append(msg)
+        assert stats.errors == plain
+        assert stats.errors_elided == 0
+        assert stats.error_log() == plain
+
+    def test_over_cap_keeps_head_and_sliding_tail(self):
+        stats = RetryStats()
+        for i in range(self.CAP + 5):
+            stats.record_error(f"e{i}")
+        assert len(stats.errors) == self.CAP
+        assert stats.errors_elided == 5
+        head = [f"e{i}" for i in range(RetryStats.ERRORS_HEAD)]
+        tail = [f"e{i}" for i in range(RetryStats.ERRORS_HEAD + 5,
+                                       self.CAP + 5)]
+        assert stats.errors == head + tail
+
+    def test_error_log_inserts_elision_marker(self):
+        stats = RetryStats()
+        for i in range(self.CAP + 3):
+            stats.record_error(f"e{i}")
+        log = stats.error_log()
+        assert log[RetryStats.ERRORS_HEAD] == "... 3 error(s) elided ..."
+        assert len(log) == self.CAP + 1
+
+    def test_merge_replays_through_cap(self):
+        a, b = RetryStats(), RetryStats()
+        for i in range(self.CAP):
+            a.record_error(f"a{i}")
+        for i in range(self.CAP):
+            b.record_error(f"b{i}")
+        a.merge(b)
+        assert len(a.errors) == self.CAP
+        assert a.errors_elided == self.CAP
+        # Head frozen from a, tail slid to b's newest messages.
+        assert a.errors[:RetryStats.ERRORS_HEAD] == [
+            f"a{i}" for i in range(RetryStats.ERRORS_HEAD)]
+        assert a.errors[-1] == f"b{self.CAP - 1}"
+
+    def test_run_with_retry_records_through_cap(self):
+        stats = RetryStats()
+        fn = Flaky(self.CAP + 4)
+        with pytest.raises(RetryExhaustedError):
+            run_with_retry(fn, RetryPolicy(max_attempts=self.CAP + 4),
+                           "k", sleep=lambda s: None, stats=stats)
+        assert stats.errors_elided == 4
+        assert len(stats.errors) == self.CAP

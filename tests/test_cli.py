@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -246,3 +248,68 @@ class TestShmooStrategy:
     def test_rejects_unknown_strategy(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["shmoo", "--strategy", "turbo"])
+
+
+class TestJournalCli:
+    """The observability front door: --journal and `repro report`."""
+
+    ARGS = ["--rows", "16", "--columns", "2", "--bits", "4",
+            "--sites", "40", "--seed", "7"]
+
+    def test_campaign_journal_then_report(self, capsys, tmp_path):
+        journal = str(tmp_path / "run.jsonl")
+        assert main(["campaign", "run", *self.ARGS,
+                     "--journal", journal]) == 0
+        out = capsys.readouterr().out
+        assert "run journal:" in out
+
+        assert main(["report", journal]) == 0
+        out = capsys.readouterr().out
+        assert "Run report" in out
+        assert "Quarantines:" in out
+        assert "Frontier demotions:" in out
+
+    def test_report_json_format(self, capsys, tmp_path):
+        journal = str(tmp_path / "run.jsonl")
+        assert main(["campaign", "run", *self.ARGS,
+                     "--journal", journal]) == 0
+        capsys.readouterr()
+        assert main(["report", journal, "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro.run-report"
+        assert doc["totals"]["executed_units"] == 80
+
+    def test_report_missing_journal_exits_two(self, capsys, tmp_path):
+        rc = main(["report", str(tmp_path / "absent.jsonl")])
+        assert rc == 2
+        assert "no run journal" in capsys.readouterr().err
+
+    def test_report_corrupt_journal_exits_two(self, capsys, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not a journal\n")
+        rc = main(["report", str(bad)])
+        assert rc == 2
+        assert "line 1" in capsys.readouterr().err
+
+    def test_report_without_journal_is_legacy_report(self, capsys):
+        rc = main(["report", "--sites", "200", "--devices", "500"])
+        assert rc == 0
+
+    def test_shmoo_journal(self, capsys, tmp_path):
+        journal = str(tmp_path / "shmoo.jsonl")
+        assert main(["shmoo", "--journal", journal]) == 0
+        assert "run journal:" in capsys.readouterr().out
+        assert main(["report", journal]) == 0
+        assert "Shmoo: strategy=exact" in capsys.readouterr().out
+
+    def test_status_with_cache_forensics(self, capsys, tmp_path):
+        ck = str(tmp_path / "ck.json")
+        cache = tmp_path / "cache.json"
+        cache.write_text("garbage")
+        assert main(["campaign", "run", *self.ARGS, "--checkpoint", ck,
+                     "--cache", str(cache)]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "status", ck,
+                     "--cache", str(cache)]) == 0
+        out = capsys.readouterr().out
+        assert "cache:" in out
