@@ -186,6 +186,12 @@ def _lint_march_target(name: str, config):
     return [lint_march(get_test(name), config, f"march:{name}")]
 
 
+def _lint_code_target(paths, config):
+    from repro.lint.code import lint_code_paths
+
+    return lint_code_paths(list(paths) or ["src/repro"], config)
+
+
 def _lint_plan_target(suite: str, config, args):
     from repro.lint import lint_plan
     from repro.stress import production_conditions, standard_conditions
@@ -219,7 +225,14 @@ def _lint_plan_target(suite: str, config, args):
                       f"plan:{suite}")]
 
 
+def _split_rule_tokens(chunks) -> list[str]:
+    """Flatten repeatable comma-separated rule-ID option values."""
+    return [token.strip() for chunk in chunks for token in chunk.split(",")
+            if token.strip()]
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
+    import repro.lint.code  # noqa: F401  (registers the ``code`` pack)
     from repro.lint import (
         LintConfig,
         all_rules,
@@ -227,6 +240,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         render_json,
         render_text,
     )
+    from repro.lint.core import expand_rule_selectors
 
     if args.list_rules:
         for r in all_rules():
@@ -238,12 +252,22 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         for chunk in args.disable:
             config = config.disable(*[s.strip() for s in chunk.split(",")
                                       if s.strip()])
+        ignore = _split_rule_tokens(args.ignore)
+        if ignore:
+            config = config.disable(*expand_rule_selectors(ignore))
+        select = _split_rule_tokens(args.select)
+        if select:
+            config = config.select(*expand_rule_selectors(select))
     except KeyError as exc:
         print(f"repro lint: {exc.args[0]}", file=sys.stderr)
         return 2
 
     reports = []
-    for target in (args.targets or list(_DEFAULT_LINT_TARGETS)):
+    targets = args.targets or list(_DEFAULT_LINT_TARGETS)
+    index = 0
+    while index < len(targets):
+        target = targets[index]
+        index += 1
         scheme, _, rest = target.partition(":")
         try:
             if scheme == "march":
@@ -253,12 +277,19 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             elif scheme == "plan":
                 reports.extend(_lint_plan_target(rest or "production",
                                                  config, args))
+            elif scheme == "code":
+                # ``code:PATH`` is a single target; a bare ``code``
+                # consumes every remaining argument as a path.
+                paths = [rest] if rest else targets[index:]
+                if not rest:
+                    index = len(targets)
+                reports.extend(_lint_code_target(paths, config))
             else:
                 raise ValueError(
                     f"unknown lint target {target!r}; use march:<name|all>, "
-                    "netlist:<cell|decoder|demo-broken> or "
-                    "plan:<production|standard>")
-        except (KeyError, ValueError) as exc:
+                    "netlist:<cell|decoder|demo-broken>, "
+                    "plan:<production|standard> or code [PATH ...]")
+        except (KeyError, ValueError, OSError) as exc:
             print(exc, file=sys.stderr)
             return 2
 
@@ -514,7 +545,10 @@ def build_parser() -> argparse.ArgumentParser:
                     "1 warnings remain under --strict, 2 errors.")
     p.add_argument("targets", nargs="*", metavar="TARGET",
                    help="march:<name|all>, netlist:<cell|decoder|demo-"
-                        "broken>, plan:<production|standard> "
+                        "broken>, plan:<production|standard>, or "
+                        "`code [PATH ...]` for the source-code "
+                        "determinism/IO analyzer (paths default to "
+                        "src/repro) "
                         f"(default: {' '.join(_DEFAULT_LINT_TARGETS)})")
     p.add_argument("--format", choices=("text", "json"), default="text",
                    help="report format")
@@ -524,6 +558,15 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="RULES",
                    help="comma-separated rule IDs to suppress "
                         "(repeatable)")
+    p.add_argument("--select", action="append", default=[],
+                   metavar="RULES",
+                   help="run only these rules: comma-separated IDs or "
+                        "prefixes, e.g. DET003 or DET,IO (repeatable; "
+                        "applies to every pack)")
+    p.add_argument("--ignore", action="append", default=[],
+                   metavar="RULES",
+                   help="skip these rules: comma-separated IDs or "
+                        "prefixes (repeatable; wins over --select)")
     p.add_argument("--list-rules", action="store_true",
                    help="print the rule catalog and exit")
     p.add_argument("--verbose", action="store_true",

@@ -33,14 +33,19 @@ from repro.lint.core import (
     Severity,
     all_rules,
     combined_exit_code,
+    expand_rule_selectors,
     get_rule,
+    is_known_rule,
     pack_names,
     rule,
     rules_for_pack,
     run_pack,
 )
 
-# Importing the rule modules registers the shipped packs.
+# Importing the rule modules registers the shipped packs.  The ``code``
+# pack (repro.lint.code) registers itself the same way but is imported
+# lazily by lint_code: it pulls in repro.obs for the event catalog,
+# which lightweight consumers of the input packs should not pay for.
 from repro.lint import rules_march as _rules_march  # noqa: F401
 from repro.lint import rules_netlist as _rules_netlist  # noqa: F401
 from repro.lint import rules_plan as _rules_plan  # noqa: F401
@@ -65,7 +70,9 @@ __all__ = [
     "as_json_document",
     "assert_netlist_clean",
     "combined_exit_code",
+    "expand_rule_selectors",
     "get_rule",
+    "is_known_rule",
     "lint_march",
     "lint_netlist",
     "lint_plan",

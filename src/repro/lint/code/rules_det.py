@@ -1,0 +1,255 @@
+"""Determinism rule pack (``DET0xx``) over Python source.
+
+The reproduction's hard contracts -- byte-identical records across
+worker counts, byte-identical journals, content-addressed cache keys --
+only hold while no code path consults ambient nondeterminism: the
+shared ``random`` module state, wall clocks, hash-ordered containers.
+These rules flag the syntactic forms through which that nondeterminism
+leaks.  They are deliberately *syntactic*: each rationale states the
+approximation, and every false positive has a one-line out
+(``# repro: lint-disable=ID`` plus a justification).
+
+Context object: :class:`repro.lint.code.context.CodeLintContext`.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.code.context import CodeLintContext
+from repro.lint.core import Finding, Severity, rule
+
+#: ``numpy.random`` constructors that are deterministic *when given a
+#: seed argument* (positional or keyword).  Called bare, they pull OS
+#: entropy and every run diverges.
+_NP_SEEDABLE = frozenset({
+    "default_rng", "Generator", "SeedSequence", "RandomState",
+    "PCG64", "PCG64DXSM", "Philox", "MT19937", "SFC64",
+})
+
+#: Wall-clock reads: never acceptable in library code (journals and
+#: records must be pure functions of the computation).
+_WALL_CLOCK = frozenset({
+    "time.time", "time.time_ns", "time.localtime", "time.gmtime",
+    "time.ctime", "time.strftime",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+#: Monotonic timers: meaningless in persisted output but legitimate in
+#: benchmark harnesses, so they are only allowed in ``*bench*`` modules.
+_MONOTONIC = frozenset({
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.monotonic", "time.monotonic_ns",
+})
+
+#: Sinks whose argument is persisted verbatim (DET005): a non-canonical
+#: ``json.dumps`` reaching one of these produces artefacts whose bytes
+#: depend on dict construction order.
+_PERSIST_SINKS = frozenset({"write_text", "write_bytes", "write"})
+_PERSIST_SINK_CALLS = frozenset({
+    "repro.runner.atomic.atomic_write_text",
+    "atomic_write_text",
+})
+
+
+def _calls(ctx: CodeLintContext) -> Iterator[ast.Call]:
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+@rule("DET001", "code", "unseeded stdlib random",
+      severity=Severity.ERROR,
+      rationale="Module-level random.* calls share one process-global "
+                "RNG; any import-order or worker-count change reshuffles "
+                "every draw, breaking byte-identical records.  Thread a "
+                "random.Random(seed) instance instead.  Approximation: "
+                "flags every call through the random module except "
+                "random.Random(...) with an explicit seed.")
+def check_unseeded_random(ctx: CodeLintContext) -> Iterator[Finding]:
+    """Flag ``random.X()`` module-level calls (the shared global RNG)."""
+    for call in _calls(ctx):
+        name = ctx.resolve_call(call)
+        if name is None or not name.startswith("random."):
+            continue
+        tail = name[len("random."):]
+        if "." in tail:  # method on an instance-typed attribute chain
+            continue
+        if tail == "Random" and (call.args or call.keywords):
+            continue  # seeded instance: the sanctioned pattern
+        if tail == "Random":
+            message = ("random.Random() without a seed draws from OS "
+                       "entropy; pass an explicit seed")
+        elif tail == "SystemRandom":
+            message = ("random.SystemRandom is OS entropy by design and "
+                       "can never reproduce")
+        else:
+            message = (f"random.{tail}() uses the shared unseeded "
+                       "module RNG; use a seeded random.Random instance")
+        yield Finding(message, location=ctx.where(call), index=call.lineno)
+
+
+@rule("DET002", "code", "unseeded numpy random",
+      severity=Severity.ERROR,
+      rationale="numpy.random module-level calls (np.random.rand, "
+                ".seed, ...) mutate legacy global state; seedable "
+                "constructors called without a seed pull OS entropy.  "
+                "Use np.random.default_rng(seed) / SeedSequence(entropy="
+                "...) and pass Generators down explicitly.")
+def check_unseeded_numpy_random(ctx: CodeLintContext) -> Iterator[Finding]:
+    """Flag global/unseeded ``numpy.random`` calls."""
+    for call in _calls(ctx):
+        name = ctx.resolve_call(call)
+        if name is None or not name.startswith("numpy.random."):
+            continue
+        tail = name[len("numpy.random."):]
+        if "." in tail:
+            continue
+        if tail in _NP_SEEDABLE:
+            if call.args or call.keywords:
+                continue  # explicitly seeded: fine
+            message = (f"numpy.random.{tail}() without a seed pulls OS "
+                       "entropy; pass an explicit seed")
+        else:
+            message = (f"numpy.random.{tail}() goes through numpy's "
+                       "global RNG state; use a seeded "
+                       "numpy.random.default_rng(...) Generator")
+        yield Finding(message, location=ctx.where(call), index=call.lineno)
+
+
+@rule("DET003", "code", "wall-clock read in library code",
+      severity=Severity.ERROR,
+      rationale="Journals, records and cache keys are pure functions of "
+                "what the campaign computed (docs/observability.md); a "
+                "wall-clock read anywhere in library code eventually "
+                "leaks into one of them.  Monotonic timers "
+                "(perf_counter/monotonic) are additionally allowed in "
+                "*bench* modules, whose whole output is timing.")
+def check_wall_clock(ctx: CodeLintContext) -> Iterator[Finding]:
+    """Flag wall-clock reads; monotonic timers outside bench modules."""
+    if ctx.is_test:
+        return
+    for call in _calls(ctx):
+        name = ctx.resolve_call(call)
+        if name is None:
+            continue
+        if name in _WALL_CLOCK:
+            yield Finding(
+                f"{name}() is a wall-clock read; persisted artefacts "
+                "must not depend on when the run happened",
+                location=ctx.where(call), index=call.lineno)
+        elif name in _MONOTONIC and not ctx.is_bench:
+            yield Finding(
+                f"{name}() outside a benchmark module; timing belongs "
+                "in repro.perf bench harnesses, not library paths",
+                location=ctx.where(call), index=call.lineno)
+
+
+def _is_set_producing(node: ast.expr, ctx: CodeLintContext) -> bool:
+    """Whether ``node`` syntactically evaluates to a set/frozenset."""
+    if isinstance(node, ast.Set) or isinstance(node, ast.SetComp):
+        return True
+    if isinstance(node, ast.Call):
+        name = ctx.resolve_call(node)
+        if name in ("set", "frozenset"):
+            return True
+    if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+        return (_is_set_producing(node.left, ctx)
+                or _is_set_producing(node.right, ctx))
+    return False
+
+
+def _sorted_wraps(node: ast.AST, ctx: CodeLintContext) -> bool:
+    """Whether the iteration result feeds straight into ``sorted(...)``."""
+    parent = ctx.parent_map().get(node)
+    return (isinstance(parent, ast.Call)
+            and ctx.resolve_call(parent) == "sorted")
+
+
+@rule("DET004", "code", "iteration order from set/environ",
+      severity=Severity.WARNING,
+      rationale="set/frozenset iteration order follows PYTHONHASHSEED "
+                "and os.environ order follows the parent process; both "
+                "reshuffle across runs and machines.  Wrap the iterable "
+                "in sorted(...) when the loop's order can reach "
+                "persisted output.  Approximation: flags direct "
+                "iteration over set-producing expressions and "
+                "os.environ; a comprehension passed straight to "
+                "sorted(...) is exempt.")
+def check_unordered_iteration(ctx: CodeLintContext) -> Iterator[Finding]:
+    """Flag ``for``/comprehension iteration over hash-ordered sources."""
+    if ctx.is_test:
+        return
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iters = [node.iter]
+            exempt = False
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            iters = [gen.iter for gen in node.generators]
+            exempt = _sorted_wraps(node, ctx)
+        else:
+            continue
+        if exempt:
+            continue
+        for it in iters:
+            if _is_set_producing(it, ctx):
+                yield Finding(
+                    "iterating a set/frozenset: order follows "
+                    "PYTHONHASHSEED; sort it (or iterate a list) when "
+                    "order can reach output",
+                    location=ctx.where(node), index=node.lineno)
+            elif ctx.resolve(it) == "os.environ":
+                yield Finding(
+                    "iterating os.environ: order is inherited from the "
+                    "parent process; sort the keys",
+                    location=ctx.where(node), index=node.lineno)
+
+
+def _dumps_without_sort_keys(node: ast.AST,
+                             ctx: CodeLintContext) -> Iterator[ast.Call]:
+    for call in ast.walk(node):
+        if not isinstance(call, ast.Call):
+            continue
+        if ctx.resolve_call(call) != "json.dumps":
+            continue
+        sort_keys = next((kw.value for kw in call.keywords
+                          if kw.arg == "sort_keys"), None)
+        if sort_keys is None or (isinstance(sort_keys, ast.Constant)
+                                 and not sort_keys.value):
+            yield call
+
+
+@rule("DET005", "code", "non-canonical JSON reaches a persistence sink",
+      severity=Severity.ERROR,
+      rationale="json.dumps without sort_keys=True serialises dicts in "
+                "construction order, so two semantically identical "
+                "payloads can differ byte-wise -- poison for checksums, "
+                "content-addressed caches and byte-identical artefact "
+                "diffs.  Approximation: flags dumps(...) nested "
+                "directly inside a write sink (write_text/write_bytes/"
+                ".write/atomic_write_text); prefer "
+                "repro.runner.atomic.canonical_json.")
+def check_noncanonical_json(ctx: CodeLintContext) -> Iterator[Finding]:
+    """Flag ``json.dumps`` without ``sort_keys=True`` feeding a sink."""
+    if ctx.is_test:
+        return
+    for call in _calls(ctx):
+        func = call.func
+        is_sink = (isinstance(func, ast.Attribute)
+                   and func.attr in _PERSIST_SINKS)
+        if not is_sink:
+            name = ctx.resolve_call(call)
+            is_sink = name in _PERSIST_SINK_CALLS
+        if not is_sink:
+            continue
+        for arg in [*call.args, *[kw.value for kw in call.keywords]]:
+            for dumps in _dumps_without_sort_keys(arg, ctx):
+                yield Finding(
+                    "json.dumps(...) without sort_keys=True is written "
+                    "to disk; key order is dict construction order -- "
+                    "use sort_keys=True or canonical_json",
+                    location=ctx.where(dumps), index=dumps.lineno)

@@ -1,0 +1,154 @@
+"""Atomic-write discipline rule pack (``IO0xx``) over Python source.
+
+:mod:`repro.runner.atomic` is the single sanctioned path for durable
+artefacts: write-temp, fsync, atomic rename, checksummed envelope.  A
+bare ``open(path, "w")`` elsewhere re-introduces exactly the failure
+the paper's deployment model cannot afford -- a truncated
+pre-calculated database silently poisoning every later estimate.  These
+rules keep every persisted-state write inside the helpers.
+
+Test modules are exempt from the whole pack: fabricating truncated,
+corrupt and torn files is what the robustness tests are *for*.
+
+Context object: :class:`repro.lint.code.context.CodeLintContext`.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.code.context import CodeLintContext
+from repro.lint.core import Finding, Severity, rule
+
+#: Rename primitives that make a file visible to readers.
+_RENAMES = frozenset({"os.rename", "os.replace", "shutil.move"})
+
+
+def _calls(node: ast.AST) -> Iterator[ast.Call]:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call):
+            yield child
+
+
+def _write_mode_of(call: ast.Call) -> str | None:
+    """The write-ish mode string of an ``open`` call, if statically known.
+
+    Returns the mode when it contains ``w``/``a``/``x``/``+``; ``None``
+    for read modes, non-literal modes and mode-less calls.
+    """
+    mode: ast.expr | None = None
+    if len(call.args) >= 2:
+        mode = call.args[1]
+    for kw in call.keywords:
+        if kw.arg == "mode":
+            mode = kw.value
+    if mode is None or not isinstance(mode, ast.Constant):
+        return None
+    value = mode.value
+    if isinstance(value, str) and any(c in value for c in "wax+"):
+        return value
+    return None
+
+
+@rule("IO001", "code", "bare write-mode open()",
+      severity=Severity.ERROR,
+      rationale="open(path, 'w') truncates the destination before the "
+                "new content is durable; a crash mid-write leaves a "
+                "torn file that checksums cannot save you from because "
+                "the old version is already gone.  Route durable writes "
+                "through repro.runner.atomic.atomic_write_text (build "
+                "the payload in memory first -- io.StringIO for csv).")
+def check_bare_open_write(ctx: CodeLintContext) -> Iterator[Finding]:
+    """Flag write-mode ``open`` calls outside ``repro.runner.atomic``."""
+    if ctx.is_test or ctx.is_atomic_module:
+        return
+    for call in _calls(ctx.tree):
+        if ctx.resolve_call(call) != "open":
+            continue
+        mode = _write_mode_of(call)
+        if mode is not None:
+            yield Finding(
+                f"open(..., {mode!r}) outside repro.runner.atomic; "
+                "durable writes go through atomic_write_text "
+                "(write-temp, fsync, rename)",
+                location=ctx.where(call), index=call.lineno)
+
+
+@rule("IO002", "code", "bare Path.write_text/write_bytes",
+      severity=Severity.ERROR,
+      rationale="Path.write_text truncates in place with no temp file, "
+                "no fsync and no rename: the narrowest possible crash "
+                "window is still a destroyed artefact.  Approximation: "
+                "flags any .write_text/.write_bytes attribute call in "
+                "library code; a receiver that is genuinely not a "
+                "persisted-state path earns a justified suppression.")
+def check_bare_path_write(ctx: CodeLintContext) -> Iterator[Finding]:
+    """Flag ``.write_text``/``.write_bytes`` outside the atomic module."""
+    if ctx.is_test or ctx.is_atomic_module:
+        return
+    for call in _calls(ctx.tree):
+        func = call.func
+        if (isinstance(func, ast.Attribute)
+                and func.attr in ("write_text", "write_bytes")):
+            yield Finding(
+                f".{func.attr}(...) bypasses the atomic write-temp/"
+                "fsync/rename discipline; use atomic_write_text",
+                location=ctx.where(call), index=call.lineno)
+
+
+@rule("IO003", "code", "bare rename/replace",
+      severity=Severity.ERROR,
+      rationale="os.replace outside the atomic helper is almost always "
+                "half of a hand-rolled write-rename that forgot the "
+                "fsync (the data can still be in the page cache when "
+                "the rename commits) and the directory fsync (the "
+                "rename itself can be lost).")
+def check_bare_rename(ctx: CodeLintContext) -> Iterator[Finding]:
+    """Flag rename primitives outside ``repro.runner.atomic``."""
+    if ctx.is_test or ctx.is_atomic_module:
+        return
+    for call in _calls(ctx.tree):
+        name = ctx.resolve_call(call)
+        if name in _RENAMES:
+            yield Finding(
+                f"{name}() outside repro.runner.atomic; the sanctioned "
+                "write-temp/fsync/rename lives there",
+                location=ctx.where(call), index=call.lineno)
+
+
+@rule("IO004", "code", "write+rename scope without fsync",
+      severity=Severity.WARNING,
+      rationale="A function that writes a file and renames it into "
+                "place without an os.fsync in between has the classic "
+                "non-durable commit: after a power cut the rename can "
+                "be visible while the data is not.  Fires per enclosing "
+                "function (module scope counts as one), wherever the "
+                "pattern appears -- including inside the atomic module "
+                "itself, where it would mean the helper regressed.")
+def check_rename_without_fsync(ctx: CodeLintContext) -> Iterator[Finding]:
+    """Flag write+rename functions that never fsync."""
+    if ctx.is_test:
+        return
+    for scope in ast.walk(ctx.tree):
+        if not isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        renames: list[ast.Call] = []
+        writes = fsyncs = 0
+        for call in _calls(scope):
+            name = ctx.resolve_call(call)
+            if name in _RENAMES:
+                renames.append(call)
+            elif name == "os.fsync":
+                fsyncs += 1
+            elif name == "open" and _write_mode_of(call) is not None:
+                writes += 1
+            elif (isinstance(call.func, ast.Attribute)
+                  and call.func.attr in ("write_text", "write_bytes",
+                                         "write")):
+                writes += 1
+        if renames and writes and not fsyncs:
+            yield Finding(
+                "this function writes a file and renames it into place "
+                "but never calls os.fsync; the commit is not durable",
+                location=ctx.where(renames[0]), index=renames[0].lineno)

@@ -1,0 +1,64 @@
+"""Suppression-hygiene rules (``CODE0xx``) for the ``code`` pack.
+
+Per-line ``# repro: lint-disable=ID`` suppressions are the pack's
+escape hatch; these rules keep the hatch itself from rotting:
+
+* ``CODE001`` -- a suppression naming a rule that does not exist (or
+  belongs to a non-code pack) suppresses nothing and usually means a
+  typo'd ID silently letting the original finding through... except the
+  finding *does* fire, so the author is left confused.  Flag the comment.
+* ``CODE002`` -- a suppression whose rule produced no finding on that
+  line.  Stale suppressions accumulate as the code under them changes;
+  each one is a license to reintroduce the defect unnoticed.  This rule
+  is *synthesised* by :func:`repro.lint.code.lint_code_file` after the
+  pack runs (a rule function cannot know which findings fired); it is
+  registered here so it has a stable ID, severity, catalog entry and a
+  working ``--select`` / ``--ignore`` / ``LintConfig`` story.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.lint.code.context import CodeLintContext
+from repro.lint.core import Finding, Severity, get_rule, is_known_rule, rule
+
+
+@rule("CODE001", "code", "suppression of unknown rule ID",
+      severity=Severity.WARNING,
+      rationale="A lint-disable comment naming an unknown (or non-code-"
+                "pack) rule ID suppresses nothing; it is almost always "
+                "a typo that leaves the author believing a finding is "
+                "handled.")
+def check_unknown_suppression(ctx: CodeLintContext) -> Iterator[Finding]:
+    """Flag ``lint-disable`` comments naming unknown rule IDs."""
+    for lineno in sorted(ctx.suppressions):
+        for rid in sorted(ctx.suppressions[lineno]):
+            if not is_known_rule(rid) or get_rule(rid).pack != "code":
+                yield Finding(
+                    f"lint-disable names {rid!r}, which is not a "
+                    "code-pack rule; the suppression has no effect",
+                    location=f"{ctx.path}:{lineno}", index=lineno)
+
+
+@rule("CODE002", "code", "unused suppression",
+      severity=Severity.WARNING,
+      rationale="A lint-disable comment whose rule no longer fires on "
+                "that line is a standing license to silently "
+                "reintroduce the defect; delete it when the code it "
+                "excused goes away.  (Synthesised after the pack runs; "
+                "see repro.lint.code.lint_code_file.)")
+def check_unused_suppression(ctx: CodeLintContext) -> Iterator[Finding]:
+    """Placeholder: findings are synthesised by ``lint_code_file``."""
+    return iter(())
+
+
+@rule("CODE003", "code", "file does not parse",
+      severity=Severity.ERROR,
+      rationale="A file the analyzer cannot parse is a file none of the "
+                "determinism/IO/event guarantees are checked on; the "
+                "gate must fail loudly, not skip it.  (Synthesised by "
+                "the front door when ast.parse raises.)")
+def check_parses(ctx: CodeLintContext) -> Iterator[Finding]:
+    """Placeholder: a context only exists for files that parsed."""
+    return iter(())

@@ -1,0 +1,106 @@
+"""Event-conformance rule pack (``OBS0xx``) over Python source.
+
+:data:`repro.obs.events.EVENT_CATALOG` pins the journal vocabulary at
+runtime -- :meth:`~repro.obs.bus.EventBus.emit` raises on an unknown
+name or missing key.  But runtime validation only fires on the paths a
+test happens to execute; these rules cross-check every ``emit(...)``
+call site statically, so a drifting event name or payload is caught at
+review time even on a cold branch.
+
+Only call sites with a *literal* event name are checked (a forwarding
+wrapper like ``CountingEventBus.emit(name, **data)`` is invisible to
+static analysis, by design), and payload-key checking skips calls that
+splat ``**payload`` -- the catalog floor cannot be established there.
+
+Context object: :class:`repro.lint.code.context.CodeLintContext`.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.code.context import CodeLintContext
+from repro.lint.core import Finding, Severity, rule
+from repro.obs.events import EVENT_CATALOG
+
+
+def _emit_calls(ctx: CodeLintContext) -> Iterator[tuple[ast.Call, str]]:
+    """Every ``*.emit("literal", ...)`` call site in the file."""
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "emit"):
+            continue
+        if not node.args:
+            continue
+        first = node.args[0]
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            yield node, first.value
+
+
+@rule("OBS001", "code", "emit of unknown event name",
+      severity=Severity.ERROR,
+      rationale="Event names are part of the journal schema; an unknown "
+                "name raises JournalError at runtime -- on whatever "
+                "rare path finally reaches the call site, usually in "
+                "production.  Catching it statically costs nothing.  "
+                "Adding a genuinely new event means extending "
+                "EVENT_CATALOG (a schema decision), not this "
+                "suppression table.")
+def check_unknown_event(ctx: CodeLintContext) -> Iterator[Finding]:
+    """Flag ``emit`` calls whose literal name is not in the catalog."""
+    for call, name in _emit_calls(ctx):
+        if name not in EVENT_CATALOG:
+            yield Finding(
+                f"emit({name!r}): not a catalogued event name; "
+                f"stable names: {', '.join(sorted(EVENT_CATALOG))}",
+                location=ctx.where(call), index=call.lineno)
+
+
+@rule("OBS002", "code", "emit missing required payload keys",
+      severity=Severity.ERROR,
+      rationale="The catalog pins a payload floor per event so journals "
+                "written today stay machine-readable tomorrow; a "
+                "missing key raises at runtime on the emitting path.  "
+                "Checked only when every payload key is a literal "
+                "keyword (calls that splat **payload are skipped).")
+def check_missing_keys(ctx: CodeLintContext) -> Iterator[Finding]:
+    """Flag literal ``emit`` calls lacking catalogued payload keys."""
+    for call, name in _emit_calls(ctx):
+        required = EVENT_CATALOG.get(name)
+        if required is None:
+            continue  # OBS001's finding; don't double-report
+        if any(kw.arg is None for kw in call.keywords):
+            continue  # **payload: keys not statically knowable
+        provided = {kw.arg for kw in call.keywords}
+        missing = [key for key in required if key not in provided]
+        if missing:
+            yield Finding(
+                f"emit({name!r}) is missing required payload key(s) "
+                f"{', '.join(repr(k) for k in missing)}",
+                location=ctx.where(call), index=call.lineno)
+
+
+@rule("OBS003", "code", "emit from a worker-side module",
+      severity=Severity.ERROR,
+      rationale="Exactly one process -- the campaign parent -- writes a "
+                "journal (docs/observability.md).  Worker-side modules "
+                "(repro.runner.evaluate, repro.perf.executor) must ship "
+                "facts back inside UnitOutcome for the parent to replay "
+                "at the in-order effect point; a direct emit there "
+                "forks the event stream and breaks byte-identical "
+                "journals across worker counts.")
+def check_worker_emit(ctx: CodeLintContext) -> Iterator[Finding]:
+    """Flag any ``emit`` attribute call inside worker-side modules."""
+    if not ctx.is_worker_module:
+        return
+    for node in ast.walk(ctx.tree):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "emit"):
+            yield Finding(
+                f"emit(...) in worker-side module {ctx.module}; return "
+                "facts via UnitOutcome and let the parent replay them",
+                location=ctx.where(node), index=node.lineno)

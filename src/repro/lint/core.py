@@ -147,6 +147,36 @@ def get_rule(rule_id: str) -> Rule:
         ) from None
 
 
+def is_known_rule(rule_id: str) -> bool:
+    """Whether ``rule_id`` names a registered rule."""
+    return rule_id in _REGISTRY
+
+
+def expand_rule_selectors(tokens: Iterable[str]) -> frozenset[str]:
+    """Expand ``--select`` / ``--ignore`` tokens into concrete rule IDs.
+
+    A token is either an exact rule ID (``DET003``) or a prefix matching
+    one or more registered rules (``DET`` selects every determinism
+    rule; ``MARCH00`` selects MARCH001..MARCH009).
+
+    Raises:
+        KeyError: a token matches no registered rule at all -- typo'd
+            filters silently selecting nothing are how gates rot.
+    """
+    ids: set[str] = set()
+    for token in tokens:
+        if token in _REGISTRY:
+            ids.add(token)
+            continue
+        matches = [rid for rid in _REGISTRY if rid.startswith(token)]
+        if not matches:
+            raise KeyError(
+                f"unknown rule or rule prefix {token!r}; "
+                f"known: {sorted(_REGISTRY)}")
+        ids.update(matches)
+    return frozenset(ids)
+
+
 def all_rules() -> list[Rule]:
     """Every registered rule in registration order."""
     return [r for rules in _PACKS.values() for r in rules]
@@ -170,25 +200,45 @@ class LintConfig:
         severity_overrides: Rule ID -> severity replacing the default
             (e.g. promote a warning to error for a strict CI lane).
         min_severity: Findings below this severity are dropped.
+        selected: When not ``None``, only these rule IDs run at all
+            (``--select``); ``disabled`` still subtracts from the
+            selection (``--ignore`` wins over ``--select``).
     """
 
     disabled: frozenset[str] = frozenset()
     severity_overrides: Mapping[str, Severity] = field(default_factory=dict)
     min_severity: Severity = Severity.INFO
+    selected: frozenset[str] | None = None
 
     def disable(self, *rule_ids: str) -> "LintConfig":
         """A copy with additional rules suppressed."""
         for rid in rule_ids:
             get_rule(rid)  # validate early: typo'd suppressions are bugs
         return LintConfig(self.disabled | frozenset(rule_ids),
-                          dict(self.severity_overrides), self.min_severity)
+                          dict(self.severity_overrides), self.min_severity,
+                          self.selected)
+
+    def select(self, *rule_ids: str) -> "LintConfig":
+        """A copy restricted to these rules (added to any selection)."""
+        for rid in rule_ids:
+            get_rule(rid)
+        selected = (self.selected or frozenset()) | frozenset(rule_ids)
+        return LintConfig(self.disabled, dict(self.severity_overrides),
+                          self.min_severity, selected)
 
     def override(self, rule_id: str, severity: Severity) -> "LintConfig":
         """A copy with one rule's severity replaced."""
         get_rule(rule_id)
         overrides = dict(self.severity_overrides)
         overrides[rule_id] = severity
-        return LintConfig(self.disabled, overrides, self.min_severity)
+        return LintConfig(self.disabled, overrides, self.min_severity,
+                          self.selected)
+
+    def runs(self, rule_id: str) -> bool:
+        """Whether a rule survives the selection/suppression filters."""
+        if rule_id in self.disabled:
+            return False
+        return self.selected is None or rule_id in self.selected
 
 
 @dataclass
@@ -266,7 +316,7 @@ def run_pack(pack: str, context: Any, config: LintConfig | None = None,
     issues: list[LintIssue] = []
     rules_run = 0
     for r in rules:
-        if r.rule_id in cfg.disabled:
+        if not cfg.runs(r.rule_id):
             continue
         rules_run += 1
         severity = cfg.severity_overrides.get(r.rule_id, r.default_severity)
