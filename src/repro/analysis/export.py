@@ -8,31 +8,47 @@ spreadsheets and plotting pipelines:
 * estimator reports (per-condition coverage/DPM),
 * shmoo plots (long-format grid),
 * Venn counts and test plans.
+
+Every writer serialises in memory first and lands the bytes through
+:func:`repro.runner.atomic.atomic_write_text` (write-temp, fsync,
+atomic rename), so a crash mid-export can never leave a torn CSV/JSON
+behind a previously good one; JSON payloads are key-sorted so
+re-exporting identical results yields identical bytes.
 """
 
 from __future__ import annotations
 
 import csv
+import io
 import json
 from pathlib import Path
 
 from repro.core.estimator import EstimatorReport
 from repro.experiment.venn import VennCounts
 from repro.ifa.flow import CoverageRecord
+from repro.runner.atomic import atomic_write_text
 from repro.tester.shmoo import ShmooPlot
+
+
+def _write_csv(path: str | Path, header: list[str],
+               rows: list[list[object]]) -> None:
+    """Serialise one CSV table in memory and write it durably."""
+    buffer = io.StringIO(newline="")
+    writer = csv.writer(buffer)
+    writer.writerow(header)
+    writer.writerows(rows)
+    atomic_write_text(path, buffer.getvalue())
 
 
 def write_coverage_csv(records: list[CoverageRecord],
                        path: str | Path) -> None:
     """Campaign sweep as CSV (one row per (kind, R, condition))."""
-    with open(path, "w", newline="") as handle:
-        writer = csv.writer(handle)
-        writer.writerow(["kind", "resistance_ohm", "condition", "vdd_v",
-                         "period_s", "detected", "total", "coverage"])
-        for r in records:
-            writer.writerow([r.kind, r.resistance, r.condition, r.vdd,
-                             r.period, r.detected, r.total,
-                             f"{r.coverage:.6f}"])
+    _write_csv(path,
+               ["kind", "resistance_ohm", "condition", "vdd_v", "period_s",
+                "detected", "total", "coverage"],
+               [[r.kind, r.resistance, r.condition, r.vdd, r.period,
+                 r.detected, r.total, f"{r.coverage:.6f}"]
+                for r in records])
 
 
 def write_estimator_json(report: EstimatorReport, path: str | Path) -> None:
@@ -59,18 +75,16 @@ def write_estimator_json(report: EstimatorReport, path: str | Path) -> None:
             for est in report.estimates
         ],
     }
-    Path(path).write_text(json.dumps(payload, indent=1))
+    atomic_write_text(path, json.dumps(payload, indent=1, sort_keys=True))
 
 
 def write_shmoo_csv(plot: ShmooPlot, path: str | Path) -> None:
     """Shmoo grid in long format: one row per (vdd, period) point."""
-    with open(path, "w", newline="") as handle:
-        writer = csv.writer(handle)
-        writer.writerow(["vdd_v", "period_s", "passed"])
-        for i, vdd in enumerate(plot.voltages):
-            for j, period in enumerate(plot.periods):
-                writer.writerow([float(vdd), float(period),
-                                 int(plot.passed[i, j])])
+    _write_csv(path,
+               ["vdd_v", "period_s", "passed"],
+               [[float(vdd), float(period), int(plot.passed[i, j])]
+                for i, vdd in enumerate(plot.voltages)
+                for j, period in enumerate(plot.periods)])
 
 
 def write_venn_json(venn: VennCounts, path: str | Path,
@@ -79,16 +93,13 @@ def write_venn_json(venn: VennCounts, path: str | Path,
     payload = {"regions": venn.as_dict(), "total": venn.total}
     if n_devices is not None:
         payload["n_devices"] = n_devices
-    Path(path).write_text(json.dumps(payload, indent=1))
+    atomic_write_text(path, json.dumps(payload, indent=1, sort_keys=True))
 
 
 def write_plans_csv(plans, path: str | Path) -> None:
     """Test plans (e.g. a Pareto front) as CSV."""
-    with open(path, "w", newline="") as handle:
-        writer = csv.writer(handle)
-        writer.writerow(["conditions", "test_time_s", "defect_coverage",
-                         "dpm"])
-        for plan in plans:
-            writer.writerow(["+".join(plan.conditions), plan.test_time,
-                             f"{plan.defect_coverage:.6f}",
-                             f"{plan.dpm:.3f}"])
+    _write_csv(path,
+               ["conditions", "test_time_s", "defect_coverage", "dpm"],
+               [["+".join(plan.conditions), plan.test_time,
+                 f"{plan.defect_coverage:.6f}", f"{plan.dpm:.3f}"]
+                for plan in plans])
