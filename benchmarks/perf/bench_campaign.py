@@ -20,6 +20,8 @@ import sys
 from dataclasses import replace
 from pathlib import Path
 
+from repro.runner.atomic import atomic_write_text
+
 
 def _parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -71,7 +73,8 @@ def main(argv: list[str] | None = None) -> int:
         config = replace(config, **overrides)
 
     doc = run_benchmark(config)
-    Path(args.out).write_text(json.dumps(doc, indent=2) + "\n")
+    atomic_write_text(args.out, json.dumps(doc, indent=2,
+                                       sort_keys=True) + "\n")
     sim = doc["workloads"]["sim"]
     print(f"wrote {args.out}")
     print(f"  sim workload: {sim['serial']['units_per_sec']} -> "

@@ -21,6 +21,8 @@ import sys
 from dataclasses import replace
 from pathlib import Path
 
+from repro.runner.atomic import atomic_write_text
+
 
 def _parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -64,7 +66,8 @@ def main(argv: list[str] | None = None) -> int:
         config = replace(config, sites=args.sites)
 
     doc = run_frontier_benchmark(config)
-    Path(args.out).write_text(json.dumps(doc, indent=2) + "\n")
+    atomic_write_text(args.out, json.dumps(doc, indent=2,
+                                       sort_keys=True) + "\n")
     campaign = doc["campaign"]
     shmoo = doc["shmoo"]
     print(f"wrote {args.out}")

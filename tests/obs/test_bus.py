@@ -68,6 +68,8 @@ class TestEventBus:
     def test_emit_validates(self):
         bus = EventBus()
         with pytest.raises(JournalError):
+            # repro: lint-disable=OBS002 -- the missing key IS the test:
+            # emit must reject a payload below the catalog floor.
             bus.emit("run.start")  # missing plan_units
         assert len(bus) == 0
 
