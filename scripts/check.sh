@@ -37,10 +37,14 @@ if [ "${STRICT_LINT:-0}" = "1" ]; then
 fi
 python -m repro lint "${lint_flags[@]}" || status=$?
 
+echo "== repro lint code (determinism / IO / observability rules) =="
+python -m repro lint "${lint_flags[@]}" code src tests benchmarks scripts \
+    || status=$?
+
 echo "== docs (dead-link check) =="
 python scripts/check_links.py || status=$?
 
-echo "== docs (public docstrings: repro.runner / repro.perf / repro.obs) =="
+echo "== docs (public docstrings: runner / perf / obs / lint.code) =="
 python scripts/check_docstrings.py || status=$?
 
 echo "== benchmark smoke (BENCH_campaign.json schema) =="

@@ -1,9 +1,9 @@
 #!/usr/bin/env python3
-"""Docstring gate for the execution layer (repro.runner + repro.perf).
+"""Docstring gate for the execution layer and the code-lint pack.
 
 A dependency-free fallback for ruff's pydocstyle ``D`` rules (which are
 configured in ``pyproject.toml`` but only run where ruff is installed):
-walks the two packages' ASTs and fails when a module, public class or
+walks the listed packages' ASTs and fails when a module, public class or
 public function/method lacks a docstring.  ``__init__``/dunders are
 exempt, matching the ruff configuration (D105/D107 ignored; class
 docstrings carry the Args sections in Google style).
@@ -22,7 +22,8 @@ import sys
 from pathlib import Path
 
 #: Packages whose public API must be documented.
-PACKAGES = ("src/repro/runner", "src/repro/perf", "src/repro/obs")
+PACKAGES = ("src/repro/runner", "src/repro/perf", "src/repro/obs",
+            "src/repro/lint/code")
 
 
 def _missing_in(path: Path, root: Path) -> list[str]:
