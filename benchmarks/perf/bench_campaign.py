@@ -90,6 +90,8 @@ def main(argv: list[str] | None = None) -> int:
           f"(host has {doc['cpu_count']} CPU(s))")
     print(f"  cache hit rate (warm): "
           f"{100 * doc['cache_hit_rate']:.0f} %")
+    print(f"  supervision overhead (clean path): "
+          f"{100 * doc['supervision_overhead']:+.1f} %")
     return 0
 
 

@@ -110,6 +110,27 @@ print("journal report: schema ok,", rep["totals"]["events"], "events")
 ' || status=$?
 rm -f "$journal_out" "$ckpt_out"
 
+echo "== chaos-pool smoke (injected worker death heals byte-identically) =="
+pool_db="$(mktemp /tmp/pool_smoke.XXXXXX.json)"
+serial_db="$(mktemp /tmp/pool_smoke_serial.XXXXXX.json)"
+pool_journal="$(mktemp /tmp/pool_smoke.XXXXXX.jsonl)"
+python -m repro campaign run --rows 8 --columns 2 --bits 4 --sites 24 \
+    --seed 5 --save-db "$serial_db" >/dev/null || status=$?
+python -m repro campaign run --rows 8 --columns 2 --bits 4 --sites 24 \
+    --seed 5 --workers 2 --chaos-seed 5 --chaos-worker-exit 1 \
+    --journal "$pool_journal" --save-db "$pool_db" >/dev/null || status=$?
+if ! cmp -s "$serial_db" "$pool_db"; then
+    echo "chaos-pool smoke: healed pool database differs from serial"
+    status=1
+fi
+for event in pool.worker_lost pool.rebuild pool.redispatch; do
+    if ! grep -qF "\"$event\"" "$pool_journal"; then
+        echo "chaos-pool smoke: journal missing $event event"
+        status=1
+    fi
+done
+rm -f "$pool_db" "$serial_db" "$pool_journal"
+
 echo "== pytest (chaos / robustness suite) =="
 python -m pytest -q tests/runner || status=$?
 

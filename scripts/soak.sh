@@ -9,6 +9,10 @@
 # resumes the finished checkpoint and exports the database -- the full
 # run/status/resume/save cycle under fault injection.  Any crash,
 # corrupt checkpoint or inconsistent resume fails the script.
+#
+# A final round SIGKILLs random pool workers out from under a live
+# 2-worker campaign: the supervised executor must rebuild the pool,
+# finish the run, and produce a database byte-identical to serial.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -32,5 +36,33 @@ for i in $(seq 1 "$rounds"); do
     python -m repro campaign status "$ck"
     python -m repro campaign resume "$ck" --save-db "$workdir/db-$i.json"
 done
+
+echo "== soak: SIGKILL random pool workers mid-campaign =="
+serial_db="$workdir/sigkill-serial.json"
+pool_db="$workdir/sigkill-pool.json"
+pool_ck="$workdir/sigkill-pool-ck.json"
+python -m repro campaign run \
+    --rows 16 --columns 2 --bits 4 --sites 40 --seed 7 \
+    --save-db "$serial_db" >/dev/null
+python -m repro campaign run \
+    --rows 16 --columns 2 --bits 4 --sites 40 --seed 7 \
+    --workers 2 --checkpoint "$pool_ck" --save-db "$pool_db" &
+run_pid=$!
+kills=0
+while kill -0 "$run_pid" 2>/dev/null && [ "$kills" -lt 3 ]; do
+    sleep 0.4
+    victim="$(pgrep -P "$run_pid" | shuf -n 1 || true)"
+    if [ -n "$victim" ] && kill -9 "$victim" 2>/dev/null; then
+        kills=$((kills + 1))
+        echo "-- SIGKILLed worker pid $victim ($kills/3)"
+    fi
+done
+wait "$run_pid"
+python -m repro campaign status "$pool_ck"
+if ! cmp -s "$serial_db" "$pool_db"; then
+    echo "soak: post-SIGKILL database differs from serial run"
+    exit 1
+fi
+echo "-- survived $kills worker SIGKILL(s); database matches serial"
 
 echo "soak complete: ${rounds} rounds survived"

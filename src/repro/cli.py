@@ -334,13 +334,47 @@ def _campaign_flow_from_meta(meta: dict):
     return flow, specs
 
 
-def _campaign_injector(args: argparse.Namespace):
-    if not getattr(args, "chaos_rate", 0.0):
+def _campaign_worker_faults(args: argparse.Namespace, specs):
+    """Parse ``--chaos-worker-exit/-hang UNIT[:TIMES]`` into unit ids."""
+    from repro.runner.units import plan_units
+
+    tables: dict[str, dict[str, int]] = {}
+    flags = (("worker.exit", getattr(args, "chaos_worker_exit", [])),
+             ("worker.hang", getattr(args, "chaos_worker_hang", [])))
+    if not any(values for _, values in flags):
+        return tables
+    units = []
+    for spec in specs:
+        units.extend(plan_units(spec.kind, spec.resistances,
+                                spec.conditions, start_index=len(units)))
+    for site, values in flags:
+        for value in values:
+            index_text, _, times_text = value.partition(":")
+            try:
+                index = int(index_text)
+                times = int(times_text) if times_text else 1
+            except ValueError:
+                raise SystemExit(
+                    f"--chaos-worker-*: expected UNIT[:TIMES] with "
+                    f"integers, got {value!r}") from None
+            if not 0 <= index < len(units):
+                raise SystemExit(
+                    f"--chaos-worker-*: unit index {index} out of "
+                    f"range (plan has {len(units)} units)")
+            tables.setdefault(site, {})[units[index].unit_id] = times
+    return tables
+
+
+def _campaign_injector(args: argparse.Namespace, specs):
+    worker_faults = _campaign_worker_faults(args, specs)
+    if not getattr(args, "chaos_rate", 0.0) and not worker_faults:
         return None
     from repro.runner.chaos import FaultInjector
 
-    return FaultInjector(seed=args.chaos_seed,
-                         rates={"behavior.evaluate": args.chaos_rate})
+    rates = ({"behavior.evaluate": args.chaos_rate}
+             if args.chaos_rate else {})
+    return FaultInjector(seed=args.chaos_seed, rates=rates,
+                         worker_faults=worker_faults)
 
 
 def _campaign_execute(flow, specs, args: argparse.Namespace) -> int:
@@ -348,7 +382,7 @@ def _campaign_execute(flow, specs, args: argparse.Namespace) -> int:
     from repro.runner.chaos import ChaosBehaviorModel
     from repro.runner.retry import RetryPolicy
 
-    injector = _campaign_injector(args)
+    injector = _campaign_injector(args, specs)
     if injector is not None:
         flow.campaign.behavior = ChaosBehaviorModel(
             flow.campaign.behavior, injector)
@@ -363,6 +397,9 @@ def _campaign_execute(flow, specs, args: argparse.Namespace) -> int:
         retry=RetryPolicy(max_attempts=args.max_attempts,
                           base_delay=0.0, jitter=0.0),
         workers=args.workers, cache=args.cache, strategy=strategy,
+        unit_deadline=args.unit_deadline,
+        max_pool_rebuilds=args.max_pool_rebuilds,
+        chunk_deadline_factor=args.chunk_deadline_factor,
         journal=args.journal,
         fault_hook=injector.check if injector is not None else None)
     result = runner.run(specs)
@@ -381,6 +418,15 @@ def _campaign_execute(flow, specs, args: argparse.Namespace) -> int:
         print(f"chaos: {stats['injected']} faults injected over "
               f"{stats['calls']} evaluations "
               f"(rate {args.chaos_rate:g}, seed {args.chaos_seed})")
+    ss = result.supervisor_stats
+    if ss is not None and any(ss.values()):
+        print(f"pool supervision: {ss['worker_losses']} worker "
+              f"loss(es) ({ss['deadline_losses']} by chunk deadline), "
+              f"{ss['rebuilds']} rebuild(s), "
+              f"{ss['redispatched_units']} unit(s) redispatched, "
+              f"{ss['poison_units']} poison unit(s) quarantined"
+              + (f", {ss['degraded_units']} unit(s) DEGRADED to "
+                 "serial" if ss["degraded_units"] else ""))
     if result.frontier_stats is not None:
         fs = result.frontier_stats
         print(f"frontier: {fs['model_invocations']} model invocations "
@@ -446,7 +492,13 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
           f"sites={meta['n_sites']} seed={meta['seed']}")
     print(f"progress:   {status['completed_units']}/{status['total_units']} "
           f"units complete ({status['remaining_units']} remaining)")
-    print(f"quarantine: {status['quarantined_sites']} site(s)")
+    # Whole-unit (poison) quarantines carry the sentinel site_index -1
+    # -- see repro.perf.supervisor.
+    poison = sum(1 for entry in ckpt.quarantine
+                 if entry.get("site_index", 0) < 0)
+    print(f"quarantine: {status['quarantined_sites']} site(s)"
+          + (f" ({poison} whole-unit poison quarantine(s))"
+             if poison else ""))
     if status["recovered_from_temp"]:
         print("note: recovered from the .tmp sibling")
     if args.cache:
@@ -615,11 +667,38 @@ def build_parser() -> argparse.ArgumentParser:
                              "invocations; serial only)")
         cp.add_argument("--max-attempts", type=int, default=3,
                         help="retry attempts per site evaluation")
+        cp.add_argument("--unit-deadline", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock budget per work unit; with "
+                             "--workers > 1 it also sizes the "
+                             "supervisor's parent-side chunk deadline "
+                             "that detects hung workers")
+        cp.add_argument("--max-pool-rebuilds", type=int, default=8,
+                        help="worker-pool rebuilds after worker "
+                             "losses before degrading to serial "
+                             "in-parent evaluation")
+        cp.add_argument("--chunk-deadline-factor", type=float,
+                        default=4.0,
+                        help="slack multiplier of the parent-side "
+                             "chunk deadline (unit-deadline x chunk "
+                             "length x factor)")
         cp.add_argument("--chaos-rate", type=float, default=0.0,
                         help="inject behavioural faults at this rate "
                              "(soak testing; see scripts/soak.sh)")
         cp.add_argument("--chaos-seed", type=int, default=0,
                         help="fault-injection seed")
+        cp.add_argument("--chaos-worker-exit", action="append",
+                        default=[], metavar="UNIT[:TIMES]",
+                        help="kill the worker (os._exit) on the given "
+                             "plan-unit index's first TIMES dispatches "
+                             "(default 1; repeatable; rehearses the "
+                             "pool supervisor)")
+        cp.add_argument("--chaos-worker-hang", action="append",
+                        default=[], metavar="UNIT[:TIMES]",
+                        help="hang the worker on the given plan-unit "
+                             "index's first TIMES dispatches (detected "
+                             "via --unit-deadline's chunk deadline; "
+                             "repeatable)")
         cp.add_argument("--journal", metavar="PATH", default=None,
                         help="write a JSONL run journal of every unit, "
                              "retry, quarantine and cache event "

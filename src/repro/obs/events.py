@@ -68,6 +68,12 @@ EVENT_CATALOG: dict[str, tuple[str, ...]] = {
     # Checkpoints --------------------------------------------------------
     "checkpoint.save": ("completed_units",),
     "checkpoint.resume": ("completed_units", "recovered_from_temp"),
+    # Pool supervision (parent-side; absent from undisturbed runs) ------
+    "pool.worker_lost": ("unit", "units", "cause"),
+    "pool.rebuild": ("rebuilds", "budget"),
+    "pool.redispatch": ("unit", "units", "attempt"),
+    "pool.poison_unit": ("unit", "attempts", "error"),
+    "pool.degrade_serial": ("units", "rebuilds"),
     # Frontier sweep solver ---------------------------------------------
     "frontier.group": ("kind", "condition", "sites", "cached"),
     "frontier.demote": ("kind", "condition", "site_index", "reason",

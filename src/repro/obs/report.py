@@ -51,8 +51,9 @@ def build_report(meta: dict[str, Any],
     Returns:
         A JSON-serialisable dict: run totals, per-condition unit
         table, cache statistics (including corrupt discards), retry /
-        quarantine / frontier-demotion tables, checkpoint activity and
-        -- when present -- a shmoo summary.
+        quarantine / frontier-demotion tables, pool-supervision
+        counters (worker losses, rebuilds, poison units), checkpoint
+        activity and -- when present -- a shmoo summary.
     """
     events = list(events)
     totals: dict[str, Any] = {"events": len(events)}
@@ -65,6 +66,10 @@ def build_report(meta: dict[str, Any],
     demotions: list[dict[str, Any]] = []
     frontier_groups: list[dict[str, Any]] = []
     checkpoints = {"saves": 0, "resumes": 0}
+    pool: dict[str, Any] = {"worker_losses": 0, "deadline_losses": 0,
+                            "rebuilds": 0, "redispatched_units": 0,
+                            "degraded_units": 0, "degraded": False,
+                            "poison_units": []}
     database = {"discarded_corrupt_tmp": []}
     shmoo: dict[str, Any] | None = None
     sources: dict[str, int] = {}
@@ -106,6 +111,19 @@ def build_report(meta: dict[str, Any],
             checkpoints["saves"] += 1
         elif event.name == "checkpoint.resume":
             checkpoints["resumes"] += 1
+        elif event.name == "pool.worker_lost":
+            pool["worker_losses"] += 1
+            if data["cause"] == "chunk-deadline":
+                pool["deadline_losses"] += 1
+        elif event.name == "pool.rebuild":
+            pool["rebuilds"] += 1
+        elif event.name == "pool.redispatch":
+            pool["redispatched_units"] += data["units"]
+        elif event.name == "pool.poison_unit":
+            pool["poison_units"].append(dict(data))
+        elif event.name == "pool.degrade_serial":
+            pool["degraded"] = True
+            pool["degraded_units"] += data["units"]
         elif event.name == "frontier.group":
             frontier_groups.append(dict(data))
         elif event.name == "frontier.demote":
@@ -140,6 +158,7 @@ def build_report(meta: dict[str, Any],
         "retries": retries,
         "quarantines": quarantines,
         "frontier": {"groups": frontier_groups, "demotions": demotions},
+        "pool": pool,
         "checkpoints": checkpoints,
         "database": database,
         "shmoo": shmoo,
@@ -234,6 +253,24 @@ def render_text(report: dict[str, Any]) -> str:
                 for d in report["frontier"]["demotions"]]
         lines.extend("  " + ln for ln in _table(
             ["kind", "condition", "site", "reason", "stage"], rows))
+    else:
+        lines.append("  (none)")
+
+    pool = report["pool"]
+    lines.append("")
+    lines.append(
+        "Pool supervision: worker_losses={} (deadline={}) rebuilds={} "
+        "redispatched_units={}{}".format(
+            pool["worker_losses"], pool["deadline_losses"],
+            pool["rebuilds"], pool["redispatched_units"],
+            (f" DEGRADED-SERIAL units={pool['degraded_units']}"
+             if pool["degraded"] else "")))
+    lines.append("Poison units:")
+    if pool["poison_units"]:
+        rows = [[p["unit"], str(p["attempts"]), p["error"]]
+                for p in pool["poison_units"]]
+        lines.extend("  " + ln for ln in _table(
+            ["unit", "attempts", "error"], rows))
     else:
         lines.append("  (none)")
 

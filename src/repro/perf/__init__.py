@@ -5,7 +5,8 @@ byte-identical results:
 
 * :mod:`repro.perf.executor` -- a process-pool work-unit executor
   fanning the sweep across cores (out-of-order execution, in-order
-  effects);
+  effects), supervised by :mod:`repro.perf.supervisor` so worker
+  death, hangs and poison units heal instead of aborting the run;
 * :mod:`repro.perf.cache` -- a content-addressed evaluation cache
   (keyed by :mod:`repro.perf.fingerprint`) so repeated sweeps skip
   already-simulated points, mirroring the paper's database of
@@ -30,7 +31,12 @@ from repro.perf.cache import (
     unit_cache_key,
 )
 from repro.perf.counting import CountingBehaviorModel, CountingTester
-from repro.perf.executor import ParallelUnitExecutor, chunk_units
+from repro.perf.executor import (
+    ParallelUnitExecutor,
+    WorkerInitError,
+    chunk_units,
+)
+from repro.perf.supervisor import SupervisedUnitExecutor, SupervisorStats
 from repro.perf.fingerprint import (
     FingerprintError,
     behavior_fingerprint,
@@ -51,6 +57,9 @@ __all__ = [
     "CountingBehaviorModel",
     "CountingTester",
     "ParallelUnitExecutor",
+    "SupervisedUnitExecutor",
+    "SupervisorStats",
+    "WorkerInitError",
     "chunk_units",
     "FingerprintError",
     "behavior_fingerprint",

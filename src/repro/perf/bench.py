@@ -1,9 +1,11 @@
 """Campaign-execution benchmark: serial vs parallel vs cached.
 
 Produces the ``BENCH_campaign.json`` artefact documented in
-``docs/performance.md``.  The harness times the same sweep three ways
--- serial, across a worker pool, and against a warm evaluation cache --
-and verifies on the way that all three produce byte-identical records
+``docs/performance.md``.  The harness times the same sweep four ways
+-- serial, across a bare worker pool, across the *supervised* pool
+(:mod:`repro.perf.supervisor`; prices the crash-tolerance layer's
+clean-path overhead), and against a warm evaluation cache -- and
+verifies on the way that all of them produce byte-identical records
 (the :mod:`repro.perf` determinism contract is *measured*, not assumed).
 
 Two workloads are timed, because they answer different questions:
@@ -188,9 +190,12 @@ def run_benchmark(config: BenchConfig | None = None) -> dict[str, Any]:
         workers = cpu_workers if name == "cpu" else config.workers
         serial, t_serial = _timed_run(
             CampaignRunner(_make_campaign(config, sim)), specs)
+        # The "parallel" row times the bare (unsupervised) executor so
+        # the "supervised" row below can price the supervision layer
+        # against it.
         parallel, t_parallel = _timed_run(
             CampaignRunner(_make_campaign(config, sim),
-                           workers=workers), specs)
+                           workers=workers, supervise=False), specs)
         if _records_blob(serial) != _records_blob(parallel):
             raise RuntimeError(
                 f"{name}: parallel records diverged from serial")
@@ -203,6 +208,23 @@ def run_benchmark(config: BenchConfig | None = None) -> dict[str, Any]:
             "speedup": round(t_serial / t_parallel, 3),
             "parallel_matches_serial": True,
         }
+        if name == "sim":
+            # Supervised clean path on the latency-bound workload (the
+            # regime long campaigns run in): the acceptance bar is
+            # staying within a few percent of the bare executor.
+            supervised, t_supervised = _timed_run(
+                CampaignRunner(_make_campaign(config, sim),
+                               workers=workers), specs)
+            if _records_blob(serial) != _records_blob(supervised):
+                raise RuntimeError(
+                    f"{name}: supervised records diverged from serial")
+            workloads[name]["supervised"] = {
+                **_workload_row(units, t_supervised),
+                "workers": workers,
+                "overhead_vs_parallel": round(
+                    t_supervised / t_parallel - 1.0, 4),
+                "supervised_matches_serial": True,
+            }
     workloads["cpu"]["workers_clamped"] = cpu_workers < config.workers
 
     # Cache rows: cold run populates, warm run answers from the cache.
@@ -237,6 +259,8 @@ def run_benchmark(config: BenchConfig | None = None) -> dict[str, Any]:
         "speedup_parallel": workloads["sim"]["speedup"],
         "speedup_parallel_cpu_bound": workloads["cpu"]["speedup"],
         "cache_hit_rate": workloads["cache"]["warm"]["hit_rate"],
+        "supervision_overhead": workloads["sim"]["supervised"][
+            "overhead_vs_parallel"],
     }
 
 
@@ -267,7 +291,7 @@ def validate_bench(doc: Any) -> list[str]:
         if not isinstance(doc.get(field), dict):
             problems.append(f"missing or non-object {field!r}")
     for field in ("speedup_parallel", "speedup_parallel_cpu_bound",
-                  "cache_hit_rate"):
+                  "cache_hit_rate", "supervision_overhead"):
         if not isinstance(doc.get(field), (int, float)):
             problems.append(f"missing or non-numeric {field!r}")
     workloads = doc.get("workloads")
@@ -284,6 +308,18 @@ def validate_bench(doc: Any) -> list[str]:
                 problems.append(
                     f"workload {name!r}: parallel_matches_serial is not "
                     "true")
+            if name == "sim":
+                supervised = wl.get("supervised")
+                if not isinstance(supervised, dict):
+                    problems.append(
+                        "workload 'sim': missing 'supervised' row "
+                        "(the clean-path supervision-overhead "
+                        "measurement)")
+                elif supervised.get(
+                        "supervised_matches_serial") is not True:
+                    problems.append(
+                        "workload 'sim': supervised_matches_serial is "
+                        "not true")
             parallel = wl.get("parallel")
             if isinstance(parallel, dict) and not isinstance(
                     parallel.get("workers_requested"), int):

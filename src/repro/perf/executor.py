@@ -22,9 +22,15 @@ planning and checkpointing.  This module exploits that shape with a
 
 Failure semantics match the serial path: a retry-exhausted site is
 quarantined inside the worker; an :class:`InjectedCrash`-style
-``BaseException`` (or a genuinely dying worker, surfacing as
-``BrokenProcessPool``) propagates to the caller, and the checkpointed
-prefix makes the campaign resumable -- with or without workers.
+``BaseException`` propagates to the caller, and the checkpointed
+prefix makes the campaign resumable -- with or without workers.  A
+*dying* worker (``BrokenProcessPool``) or a hung one is the one
+failure the bare :class:`ParallelUnitExecutor` does not heal; the
+supervised layer on top of it (:mod:`repro.perf.supervisor`, the
+runner's default for ``workers > 1``) rebuilds the pool and
+re-dispatches the not-yet-consumed units instead.  A worker whose
+*initializer* failed (unpicklable payload, import error) surfaces as
+:exc:`WorkerInitError` naming the underlying cause.
 
 Observability (:mod:`repro.obs`) rides the same in-order effect point:
 workers emit **no** events -- every journal entry is derived
@@ -51,19 +57,98 @@ DEFAULT_CHUNKS_PER_WORKER = 4
 
 _EVALUATOR: UnitEvaluator | None = None
 
+#: Cause of a failed worker initialisation (worker-side; shipped to the
+#: parent inside the :exc:`WorkerInitError` every task then raises).
+_INIT_ERROR: str | None = None
+
+#: True in pool worker processes (set by the initializer) -- tells the
+#: chaos probe whether an injected worker death may really die.
+_IN_WORKER = False
+
+
+class WorkerInitError(RuntimeError):
+    """The pool initializer failed; the message names the cause.
+
+    Without this, a payload that cannot unpickle in the worker (or an
+    initializer import error) made every task die with a bare
+    ``AssertionError`` -- the actual exception was swallowed by the
+    pool machinery.  The initializer instead records the cause and
+    lets the worker live; the first task raises this error carrying
+    it.  Not retryable: every worker of the pool fails identically,
+    so the supervisor re-raises it instead of rebuilding.
+    """
+
 
 def _init_worker(payload: bytes) -> None:
-    """Pool initializer: rebuild this process's evaluator once."""
-    global _EVALUATOR
-    campaign, retry, unit_deadline = pickle.loads(payload)
-    _EVALUATOR = UnitEvaluator(campaign, retry=retry,
-                               unit_deadline=unit_deadline)
+    """Pool initializer: rebuild this process's evaluator once.
+
+    Never raises: an exception here would kill the worker before any
+    task could report *why*, leaving the parent with an opaque
+    ``BrokenProcessPool``.  The cause is recorded instead and surfaced
+    by :func:`_evaluate_chunk` as :exc:`WorkerInitError`.
+    """
+    global _EVALUATOR, _INIT_ERROR, _IN_WORKER
+    _IN_WORKER = True
+    try:
+        campaign, retry, unit_deadline = pickle.loads(payload)
+        _EVALUATOR = UnitEvaluator(campaign, retry=retry,
+                                   unit_deadline=unit_deadline)
+    except BaseException as exc:  # noqa: BLE001 -- reported, not lost
+        _INIT_ERROR = f"{type(exc).__name__}: {exc}"
 
 
-def _evaluate_chunk(chunk: list[WorkUnit]) -> list[UnitOutcome]:
-    """Worker task: evaluate one contiguous chunk of work units."""
-    assert _EVALUATOR is not None, "worker initializer did not run"
-    return [_EVALUATOR.evaluate(unit) for unit in chunk]
+def probe_worker_faults(campaign: Any, unit: WorkUnit, attempt: int,
+                        in_worker: bool) -> None:
+    """Fire the worker-level chaos probe for one dispatched unit.
+
+    A no-op unless the campaign's behaviour model is chaos-wrapped and
+    its injector configures worker faults.  Probed by the worker just
+    before evaluating (where an injected death really dies) and by the
+    supervisor before an in-parent retry (where it raises instead).
+    """
+    injector = getattr(campaign.behavior, "injector", None)
+    if injector is not None and hasattr(injector, "check_worker"):
+        injector.check_worker(unit.unit_id, attempt, in_worker=in_worker)
+
+
+def _evaluate_chunk(chunk: list[WorkUnit],
+                    attempts: Sequence[int] | None = None,
+                    ) -> list[UnitOutcome]:
+    """Worker task: evaluate one contiguous chunk of work units.
+
+    ``attempts`` carries each unit's 0-based dispatch count (the
+    supervisor increments a unit's count on every pool submission); it
+    only feeds the chaos probe, keeping injected worker deaths a pure
+    function of (unit, attempt) across processes.
+    """
+    if _EVALUATOR is None:
+        raise WorkerInitError(
+            "worker initializer failed"
+            + (f": {_INIT_ERROR}" if _INIT_ERROR else " (did not run)"))
+    if attempts is None:
+        attempts = [0] * len(chunk)
+    outcomes = []
+    for unit, attempt in zip(chunk, attempts):
+        probe_worker_faults(_EVALUATOR.campaign, unit, attempt,
+                            in_worker=_IN_WORKER)
+        outcomes.append(_EVALUATOR.evaluate(unit))
+    return outcomes
+
+
+def merge_outcome_injections(campaign: Any, outcome: UnitOutcome) -> None:
+    """Fold a worker outcome's injection counters into the parent.
+
+    Worker processes mutate fork-copied :class:`~repro.runner.chaos.
+    FaultInjector` counters that die with the worker; the outcome
+    carries the per-unit delta back, and the parent-side executors
+    call this at the in-order effect point so
+    ``FaultInjector.stats()`` agrees between serial and pooled runs.
+    """
+    if not outcome.injections:
+        return
+    injector = getattr(campaign.behavior, "injector", None)
+    if injector is not None and hasattr(injector, "merge_counts"):
+        injector.merge_counts(outcome.injections)
 
 
 def chunk_units(units: Sequence[WorkUnit], workers: int,
@@ -151,6 +236,8 @@ class ParallelUnitExecutor:
             :class:`~repro.runner.evaluate.UnitOutcome` per unit.
 
         Raises:
+            WorkerInitError: the worker initializer failed (the
+                message names the underlying cause).
             BaseException: whatever a worker's evaluation raised
                 (deadline overruns, injected crashes, pool breakage);
                 the consumer's checkpointed prefix stays valid.
@@ -169,4 +256,6 @@ class ParallelUnitExecutor:
             futures = [pool.submit(_evaluate_chunk, chunk)
                        for chunk in chunks]
             for future in futures:
-                yield from future.result()
+                for outcome in future.result():
+                    merge_outcome_injections(self.campaign, outcome)
+                    yield outcome

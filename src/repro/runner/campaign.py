@@ -107,6 +107,10 @@ class CampaignResult:
         frontier_stats: Counters of the frontier sweep solver
             (:class:`~repro.perf.frontier.FrontierStats` as a dict;
             ``None`` unless ``strategy="frontier"`` evaluated units).
+        supervisor_stats: Counters of the supervised worker pool
+            (:class:`~repro.perf.supervisor.SupervisorStats` as a
+            dict; ``None`` unless ``workers > 1`` ran supervised).
+            All zeros on an undisturbed run.
         metrics: Snapshot of the run's
             :class:`~repro.obs.metrics.MetricsRegistry` (``None``
             unless a journal was requested -- the registry only exists
@@ -122,6 +126,7 @@ class CampaignResult:
     retry_stats: RetryStats = field(default_factory=RetryStats)
     cache_stats: dict[str, Any] | None = None
     frontier_stats: dict[str, Any] | None = None
+    supervisor_stats: dict[str, Any] | None = None
     metrics: dict[str, Any] | None = None
 
     @property
@@ -182,6 +187,17 @@ class CampaignRunner:
             ``sleep``/``clock`` only govern the parent process.
         chunksize: Units per pool task when ``workers > 1``
             (automatic when omitted).
+        supervise: Wrap the pool in the supervision layer
+            (:mod:`repro.perf.supervisor`) that heals worker death,
+            hangs and poison units (default).  ``False`` restores the
+            bare executor, where a dying worker aborts the run --
+            kept for benchmarking the supervision overhead.
+        max_pool_rebuilds: Pool rebuilds the supervisor may spend
+            before degrading to serial in-parent evaluation.
+        chunk_deadline_factor: Slack multiplier of the supervisor's
+            parent-side chunk deadline (``unit_deadline x chunk
+            length x factor``); only meaningful with a
+            ``unit_deadline``.
         cache: Evaluation cache -- an
             :class:`~repro.perf.cache.EvaluationCache` instance, or a
             path whose cache file is loaded (created on save).  Units
@@ -223,6 +239,9 @@ class CampaignRunner:
                  unit_deadline: float | None = None,
                  workers: int = 1,
                  chunksize: int | None = None,
+                 supervise: bool = True,
+                 max_pool_rebuilds: int = 8,
+                 chunk_deadline_factor: float = 4.0,
                  cache: "EvaluationCache | str | Path | None" = None,
                  meta: dict[str, Any] | None = None,
                  fault_hook: Callable[[str], None] | None = None,
@@ -237,6 +256,10 @@ class CampaignRunner:
             raise ValueError("unit_deadline must be positive")
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if max_pool_rebuilds < 0:
+            raise ValueError("max_pool_rebuilds must be >= 0")
+        if chunk_deadline_factor <= 0:
+            raise ValueError("chunk_deadline_factor must be positive")
         if strategy not in ("exact", "frontier"):
             raise ValueError(
                 f"strategy must be 'exact' or 'frontier', got {strategy!r}")
@@ -253,6 +276,9 @@ class CampaignRunner:
         self.unit_deadline = unit_deadline
         self.workers = workers
         self.chunksize = chunksize
+        self.supervise = supervise
+        self.max_pool_rebuilds = max_pool_rebuilds
+        self.chunk_deadline_factor = chunk_deadline_factor
         self.cache, self.cache_path = self._resolve_cache(cache)
         self.extra_meta = dict(meta or {})
         self.fault_hook = fault_hook
@@ -262,6 +288,7 @@ class CampaignRunner:
         self.sleep = sleep
         self.clock = clock
         self._frontier_evaluator: Any = None
+        self._supervisor: Any = None
 
     def _journal_bus(self) -> Any:
         """Resolve the ``journal`` argument to an event bus (or None)."""
@@ -365,6 +392,7 @@ class CampaignRunner:
 
     def _outcomes(self, units: Sequence[WorkUnit],
                   pending: Sequence[WorkUnit],
+                  bus: Any = None, metrics: Any = None,
                   ) -> Iterator[UnitOutcome]:
         """Evaluate pending units lazily: exact serial, frontier, or pool.
 
@@ -373,6 +401,10 @@ class CampaignRunner:
                 group grids from it, so table cache keys do not depend
                 on checkpoint/cache state).
             pending: The subset actually needing evaluation.
+            bus: Event bus handed to the pool supervisor so its
+                ``pool.*`` recovery events land in the journal
+                (``None`` when observability is off).
+            metrics: Metrics registry fed alongside the bus.
         """
         if self.strategy == "frontier":
             from repro.perf.frontier import FrontierUnitEvaluator
@@ -389,6 +421,19 @@ class CampaignRunner:
                                       unit_deadline=self.unit_deadline,
                                       sleep=self.sleep, clock=self.clock)
             return (evaluator.evaluate(unit) for unit in pending)
+        if self.supervise:
+            from repro.perf.supervisor import SupervisedUnitExecutor
+
+            supervisor = SupervisedUnitExecutor(
+                self.campaign, retry=self.retry,
+                unit_deadline=self.unit_deadline,
+                workers=self.workers, chunksize=self.chunksize,
+                max_pool_rebuilds=self.max_pool_rebuilds,
+                chunk_deadline_factor=self.chunk_deadline_factor,
+                bus=bus, metrics=metrics,
+                sleep=self.sleep, clock=self.clock)
+            self._supervisor = supervisor
+            return supervisor.run(pending)
         from repro.perf.executor import ParallelUnitExecutor
 
         executor = ParallelUnitExecutor(self.campaign, retry=self.retry,
@@ -431,7 +476,6 @@ class CampaignRunner:
         pending = [u for u in units
                    if not ckpt.is_complete(u.unit_id)
                    and u.unit_id not in hits]
-        outcomes = self._outcomes(units, pending)
         bus = self._journal_bus()
         metrics: Any = None
         if bus is not None:
@@ -456,6 +500,7 @@ class CampaignRunner:
                          completed_units=status["completed_units"],
                          recovered_from_temp=status[
                              "recovered_from_temp"])
+        outcomes = self._outcomes(units, pending, bus, metrics)
         dirty = 0
         processed = 0
         for unit in units:
@@ -515,6 +560,8 @@ class CampaignRunner:
             result.cache_stats = self.cache.stats()
         if self._frontier_evaluator is not None:
             result.frontier_stats = self._frontier_evaluator.stats.as_dict()
+        if self._supervisor is not None:
+            result.supervisor_stats = self._supervisor.stats.as_dict()
         if bus is not None:
             self._emit_run_done(bus, metrics, result)
             result.metrics = metrics.snapshot()

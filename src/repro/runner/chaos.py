@@ -32,6 +32,8 @@ Usage::
 from __future__ import annotations
 
 import hashlib
+import os
+import time
 from collections import Counter
 from collections.abc import Iterable, Mapping
 
@@ -39,6 +41,20 @@ import numpy as np
 
 from repro.defects.models import Defect
 from repro.stress import StressCondition
+
+#: Worker-level chaos site: the worker process dies via ``os._exit``
+#: (no cleanup, no exception -- the parent sees ``BrokenProcessPool``).
+WORKER_EXIT_SITE = "worker.exit"
+
+#: Worker-level chaos site: the worker stalls in ``time.sleep`` long
+#: enough to trip the supervisor's parent-side chunk deadline.
+WORKER_HANG_SITE = "worker.hang"
+
+_WORKER_SITES = (WORKER_EXIT_SITE, WORKER_HANG_SITE)
+
+#: Exit status of an injected ``worker.exit`` death (recognisable in
+#: process tables and soak logs).
+WORKER_EXIT_STATUS = 17
 
 
 class InjectedFault(RuntimeError):
@@ -67,6 +83,24 @@ class FaultInjector:
             placement, independent of the RNG).
         crash_positions: Like ``positions`` but raising
             :class:`InjectedCrash` -- the simulated ``kill -9``.
+        worker_faults: Worker-level chaos: map of site label
+            (:data:`WORKER_EXIT_SITE` or :data:`WORKER_HANG_SITE`) ->
+            {unit id -> times}.  :meth:`check_worker`, probed once per
+            (unit, dispatch attempt) by the pool executor, fires while
+            ``attempt < times`` -- so a unit with ``times=1`` dies on
+            its first dispatch and heals on redispatch, while a large
+            ``times`` models a genuine poison unit.  Deliberately
+            keyed on (unit, attempt) rather than call order so the
+            decision is identical in every process that probes it.
+        hang_seconds: Stall duration of an injected ``worker.hang``
+            (must comfortably exceed the supervisor's chunk deadline).
+        scope_by_unit: Key the per-site RNG substreams by
+            (site, current unit) instead of site alone.  Rate-based
+            faults then become a pure function of (seed, site, unit,
+            per-unit call order) -- the property that makes serial and
+            multi-worker chaos runs draw identical fault patterns.
+            Off by default: global call-order streams keep existing
+            position-based configurations meaningful.
 
     Each site keeps an independent RNG substream (seeded from
     ``seed`` + the site label) so adding probes at one site never
@@ -77,6 +111,9 @@ class FaultInjector:
                  rates: Mapping[str, float] | None = None,
                  positions: Mapping[str, Iterable[int]] | None = None,
                  crash_positions: Mapping[str, Iterable[int]] | None = None,
+                 worker_faults: Mapping[str, Mapping[str, int]] | None = None,
+                 hang_seconds: float = 60.0,
+                 scope_by_unit: bool = False,
                  ) -> None:
         self.seed = seed
         self.rates = dict(rates or {})
@@ -87,21 +124,53 @@ class FaultInjector:
         self.positions = {s: set(p) for s, p in (positions or {}).items()}
         self.crash_positions = {
             s: set(p) for s, p in (crash_positions or {}).items()}
+        self.worker_faults = {
+            site: dict(table)
+            for site, table in (worker_faults or {}).items()}
+        for site in self.worker_faults:
+            if site not in _WORKER_SITES:
+                raise ValueError(
+                    f"unknown worker-fault site {site!r}; choices: "
+                    f"{', '.join(_WORKER_SITES)}")
+        if hang_seconds <= 0:
+            raise ValueError("hang_seconds must be positive")
+        self.hang_seconds = hang_seconds
+        self.scope_by_unit = scope_by_unit
         self.calls: Counter[str] = Counter()
         self.injected: Counter[str] = Counter()
-        self._rngs: dict[str, np.random.Generator] = {}
+        self._rngs: dict[tuple[str, str | None],
+                         np.random.Generator] = {}
+        self._scope: str | None = None
 
     # ------------------------------------------------------------------
     def _rng(self, site: str) -> np.random.Generator:
-        if site not in self._rngs:
+        key = (site, self._scope)
+        if key not in self._rngs:
             # Stable site key: str.__hash__ is salted per process, which
             # would desynchronise "same seed, same faults" across runs.
             site_key = int.from_bytes(
                 hashlib.sha256(site.encode("utf-8")).digest()[:4], "big")
-            self._rngs[site] = np.random.default_rng(
+            spawn_key: tuple[int, ...] = (site_key,)
+            if self._scope is not None:
+                scope_key = int.from_bytes(
+                    hashlib.sha256(
+                        self._scope.encode("utf-8")).digest()[:4], "big")
+                spawn_key = (site_key, scope_key)
+            self._rngs[key] = np.random.default_rng(
                 np.random.SeedSequence(entropy=self.seed,
-                                       spawn_key=(site_key,)))
-        return self._rngs[site]
+                                       spawn_key=spawn_key))
+        return self._rngs[key]
+
+    def begin_unit(self, unit_id: str) -> None:
+        """Scope subsequent RNG draws to ``unit_id``.
+
+        Called by :class:`~repro.runner.evaluate.UnitEvaluator` at the
+        start of every unit.  A no-op unless ``scope_by_unit`` was
+        requested, so default configurations keep their global
+        call-order streams.
+        """
+        if self.scope_by_unit:
+            self._scope = unit_id
 
     def check(self, site: str) -> None:
         """Account one call at ``site``; raise if a fault is scheduled.
@@ -123,6 +192,85 @@ class FaultInjector:
         if hit:
             self.injected[site] += 1
             raise InjectedFault(f"injected fault at {site}[{index}]")
+
+    def check_worker(self, unit_key: str, attempt: int,
+                     in_worker: bool = True) -> None:
+        """Probe the worker-level chaos sites for one dispatched unit.
+
+        Called once per (unit, dispatch attempt) -- by the pool worker
+        just before evaluating the unit, and by the supervisor before a
+        serial in-parent retry.  The decision is a pure function of
+        (unit, attempt, configured budget), so every process that
+        probes the same dispatch agrees without any state exchange.
+
+        Args:
+            unit_key: The unit's stable id.
+            attempt: 0-based dispatch attempt of the unit's chunk.
+            in_worker: True inside a pool worker -- the injection then
+                *is* the failure (``os._exit`` / a long sleep).  False
+                in the parent, where dying for real would kill the
+                campaign; the injection surfaces as
+                :class:`InjectedCrash` instead, which the supervisor's
+                poison-unit guard quarantines.
+
+        Raises:
+            InjectedCrash: a fault is scheduled and ``in_worker`` is
+                False.
+        """
+        for site in _WORKER_SITES:
+            times = self.worker_faults.get(site, {}).get(unit_key)
+            if times is None:
+                continue
+            self.calls[site] += 1
+            if attempt >= times:
+                continue
+            self.injected[site] += 1
+            if not in_worker:
+                raise InjectedCrash(
+                    f"injected {site} for {unit_key} still firing on "
+                    f"attempt {attempt} (in-parent retry)")
+            if site == WORKER_EXIT_SITE:
+                os._exit(WORKER_EXIT_STATUS)
+            time.sleep(self.hang_seconds)
+
+    # ------------------------------------------------------------------
+    # Counters (merged back from workers -- see docs/robustness.md)
+    # ------------------------------------------------------------------
+    def counter_snapshot(self) -> dict[str, dict[str, int]]:
+        """Copy of the call/injection counters, for later deltas."""
+        return {"calls": dict(self.calls),
+                "injected": dict(self.injected)}
+
+    def counters_since(self, snapshot: dict[str, dict[str, int]],
+                       ) -> dict[str, dict[str, int]]:
+        """Per-site counter growth since ``snapshot``.
+
+        Returns:
+            ``{site: {"calls": n, "injected": m}}`` restricted to
+            sites that moved -- the compact delta a
+            :class:`~repro.runner.evaluate.UnitOutcome` carries back
+            from a worker process.
+        """
+        delta: dict[str, dict[str, int]] = {}
+        for site in sorted(set(self.calls) | set(self.injected)):
+            calls = self.calls[site] - snapshot["calls"].get(site, 0)
+            injected = (self.injected[site]
+                        - snapshot["injected"].get(site, 0))
+            if calls or injected:
+                delta[site] = {"calls": calls, "injected": injected}
+        return delta
+
+    def merge_counts(self, delta: Mapping[str, Mapping[str, int]]) -> None:
+        """Fold a worker's per-unit counter delta into this injector.
+
+        The pool executors call this at the in-order effect point for
+        every outcome a worker sends back; without it the fork-copied
+        worker counters are lost and :meth:`stats` undercounts under
+        ``workers > 1``.
+        """
+        for site, counts in delta.items():
+            self.calls[site] += counts.get("calls", 0)
+            self.injected[site] += counts.get("injected", 0)
 
     def stats(self) -> dict[str, dict[str, int]]:
         """Per-site call and injection counters (for reports/tests)."""

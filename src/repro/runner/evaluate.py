@@ -66,6 +66,11 @@ class UnitOutcome:
         quarantine: Error-ledger entries for sites that exhausted the
             retry budget (in site order).
         stats: Retry counters accumulated while evaluating this unit.
+        injections: Fault-injector counter growth attributable to this
+            unit (``{site: {"calls": n, "injected": m}}``).  Empty
+            outside chaos runs.  Worker processes fill it so the
+            parent can merge the fork-copied injector counters back
+            (:meth:`~repro.runner.chaos.FaultInjector.merge_counts`).
     """
 
     index: int
@@ -73,6 +78,7 @@ class UnitOutcome:
     record: CoverageRecord
     quarantine: list[dict[str, Any]] = field(default_factory=list)
     stats: RetryStats = field(default_factory=RetryStats)
+    injections: dict[str, dict[str, int]] = field(default_factory=dict)
 
 
 class UnitEvaluator:
@@ -148,6 +154,16 @@ class UnitEvaluator:
         variants = self.variants_for(unit)
         behavior = self.campaign.behavior
         cond = unit.condition
+        # Chaos bookkeeping (duck-typed: absent outside chaos runs).
+        # Scoping the injector to the unit and snapshotting its
+        # counters here keeps injections a per-unit fact, so outcomes
+        # can carry them across the process boundary.
+        injector = getattr(behavior, "injector", None)
+        if injector is not None and hasattr(injector, "begin_unit"):
+            injector.begin_unit(unit.unit_id)
+        snapshot = (injector.counter_snapshot()
+                    if injector is not None
+                    and hasattr(injector, "counter_snapshot") else None)
         stats = RetryStats()
         started = self.clock()
         detected = 0
@@ -187,5 +203,8 @@ class UnitEvaluator:
             total=len(variants),
             errors=len(entries),
         )
+        injections = (injector.counters_since(snapshot)
+                      if snapshot is not None else {})
         return UnitOutcome(index=unit.index, unit_id=unit.unit_id,
-                           record=record, quarantine=entries, stats=stats)
+                           record=record, quarantine=entries, stats=stats,
+                           injections=injections)

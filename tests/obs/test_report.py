@@ -80,6 +80,37 @@ class TestBuildReport:
         assert report["cache"]["hit_rate"] is None
         assert report["conditions"] == {}
 
+    def test_pool_section_clean_run(self):
+        report = build_report({}, [])
+        assert report["pool"] == {
+            "worker_losses": 0, "deadline_losses": 0, "rebuilds": 0,
+            "redispatched_units": 0, "degraded_units": 0,
+            "degraded": False, "poison_units": []}
+
+    def test_pool_section_folds_supervision_events(self):
+        bus = EventBus()
+        bus.emit("pool.worker_lost", unit="bridge:1e3:VLV", units=4,
+                 cause="worker-lost")
+        bus.emit("pool.redispatch", unit="bridge:1e3:VLV", units=4,
+                 attempt=1)
+        bus.emit("pool.rebuild", rebuilds=1, budget=8)
+        bus.emit("pool.worker_lost", unit="bridge:2e3:VLV", units=1,
+                 cause="chunk-deadline")
+        bus.emit("pool.redispatch", unit="bridge:2e3:VLV", units=1,
+                 attempt=2)
+        bus.emit("pool.poison_unit", unit="bridge:2e3:VLV", attempts=4,
+                 error="InjectedCrash: boom")
+        bus.emit("pool.degrade_serial", units=3, rebuilds=1)
+        report = build_report({}, bus.events)
+        assert report["pool"]["worker_losses"] == 2
+        assert report["pool"]["deadline_losses"] == 1
+        assert report["pool"]["rebuilds"] == 1
+        assert report["pool"]["redispatched_units"] == 5
+        assert report["pool"]["degraded"] is True
+        assert report["pool"]["degraded_units"] == 3
+        assert report["pool"]["poison_units"][0]["unit"] == (
+            "bridge:2e3:VLV")
+
     def test_shmoo_section(self):
         bus = EventBus()
         bus.emit("shmoo.start", strategy="boundary", voltages=4, periods=6)
@@ -100,6 +131,21 @@ class TestRendering:
         assert "Quarantines:\n  (none)" in text
         assert "Frontier demotions:\n  (none)" in text
         assert "Corrupt cache discards:\n  (none)" in text
+        assert "Poison units:\n  (none)" in text
+        assert "Pool supervision: worker_losses=0" in text
+        assert "DEGRADED-SERIAL" not in text
+
+    def test_text_renders_pool_supervision(self):
+        bus = EventBus()
+        bus.emit("pool.worker_lost", unit="u", units=1,
+                 cause="chunk-deadline")
+        bus.emit("pool.poison_unit", unit="u", attempts=4,
+                 error="InjectedCrash: boom")
+        bus.emit("pool.degrade_serial", units=2, rebuilds=0)
+        text = render_text(build_report({}, bus.events))
+        assert "worker_losses=1 (deadline=1)" in text
+        assert "DEGRADED-SERIAL units=2" in text
+        assert "InjectedCrash: boom" in text
 
     def test_text_renders_populated_tables(self):
         bus = synthetic_bus()

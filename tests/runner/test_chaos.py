@@ -6,6 +6,8 @@ from repro.circuit.technology import CMOS018
 from repro.defects.behavior import DefectBehaviorModel
 from repro.defects.models import BridgeSite, bridge
 from repro.runner.chaos import (
+    WORKER_EXIT_SITE,
+    WORKER_HANG_SITE,
     ChaosBehaviorModel,
     FaultInjector,
     InjectedCrash,
@@ -81,6 +83,90 @@ class TestConfiguration:
         inj = FaultInjector(positions={"s": {0}})
         fault_pattern(inj, "s", 3)
         assert inj.stats() == {"s": {"calls": 3, "injected": 1}}
+
+
+class TestWorkerFaults:
+    def test_unknown_worker_site_rejected(self):
+        with pytest.raises(ValueError, match="worker-fault site"):
+            FaultInjector(worker_faults={"worker.meteor": {"u": 1}})
+
+    def test_invalid_hang_seconds_rejected(self):
+        with pytest.raises(ValueError, match="hang_seconds"):
+            FaultInjector(hang_seconds=0.0)
+
+    def test_parent_probe_raises_instead_of_dying(self):
+        """in_worker=False converts the death into InjectedCrash."""
+        inj = FaultInjector(worker_faults={WORKER_EXIT_SITE: {"u": 2}})
+        for attempt in (0, 1):
+            with pytest.raises(InjectedCrash, match="worker.exit"):
+                inj.check_worker("u", attempt, in_worker=False)
+        # The budget is spent: attempt 2 is clean, as is any other unit.
+        inj.check_worker("u", 2, in_worker=False)
+        inj.check_worker("other", 0, in_worker=False)
+        assert inj.stats()[WORKER_EXIT_SITE] == {
+            "calls": 3, "injected": 2}
+
+    def test_hang_site_parent_probe(self):
+        inj = FaultInjector(worker_faults={WORKER_HANG_SITE: {"u": 1}})
+        with pytest.raises(InjectedCrash, match="worker.hang"):
+            inj.check_worker("u", 0, in_worker=False)
+
+    def test_decision_is_pure_function_of_unit_and_attempt(self):
+        """Two injectors (parent/worker split) always agree."""
+        table = {WORKER_EXIT_SITE: {"a": 1, "b": 3}}
+        a = FaultInjector(worker_faults=table)
+        b = FaultInjector(worker_faults=table)
+
+        def fires(inj, unit, attempt):
+            try:
+                inj.check_worker(unit, attempt, in_worker=False)
+                return False
+            except InjectedCrash:
+                return True
+
+        for unit in ("a", "b", "c"):
+            for attempt in range(5):
+                assert fires(a, unit, attempt) == fires(b, unit, attempt)
+
+
+class TestCounterMerge:
+    def test_counters_since_reports_only_moved_sites(self):
+        inj = FaultInjector(positions={"s": {0}})
+        snap = inj.counter_snapshot()
+        fault_pattern(inj, "s", 2)
+        assert inj.counters_since(snap) == {
+            "s": {"calls": 2, "injected": 1}}
+
+    def test_merge_counts_restores_serial_totals(self):
+        """snapshot -> delta -> merge round-trips the counters."""
+        serial = FaultInjector(positions={"s": {0, 2}})
+        fault_pattern(serial, "s", 4)
+
+        worker = FaultInjector(positions={"s": {0, 2}})
+        parent = FaultInjector(positions={"s": {0, 2}})
+        snap = worker.counter_snapshot()
+        fault_pattern(worker, "s", 4)
+        parent.merge_counts(worker.counters_since(snap))
+        assert parent.stats() == serial.stats()
+
+
+class TestScopeByUnit:
+    def test_scoped_streams_independent_of_other_units(self):
+        """Per-unit substreams: traffic on one unit never shifts
+        another unit's fault pattern (the serial == pooled property)."""
+        a = FaultInjector(seed=7, rates={"s": 0.3}, scope_by_unit=True)
+        b = FaultInjector(seed=7, rates={"s": 0.3}, scope_by_unit=True)
+        a.begin_unit("u1")
+        fault_pattern(a, "s", 100)  # extra traffic on u1 only in a
+        a.begin_unit("u2")
+        b.begin_unit("u2")
+        assert fault_pattern(a, "s", 200) == fault_pattern(b, "s", 200)
+
+    def test_unscoped_default_keeps_global_stream(self):
+        a = FaultInjector(seed=7, rates={"s": 0.3})
+        b = FaultInjector(seed=7, rates={"s": 0.3})
+        a.begin_unit("u1")  # no-op without scope_by_unit
+        assert fault_pattern(a, "s", 200) == fault_pattern(b, "s", 200)
 
 
 class TestChaosBehaviorModel:
