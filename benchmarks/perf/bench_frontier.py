@@ -76,6 +76,10 @@ def main(argv: list[str] | None = None) -> int:
           f"{campaign['frontier']['model_invocations']} model invocations "
           f"({doc['invocation_reduction_campaign']}x fewer), "
           f"records byte-identical")
+    print(f"  batch (same sweep, vectorised): "
+          f"{campaign['speedup_batch']}x wall-clock vs exact "
+          f"({campaign['batch']['model_invocations']} scalar model "
+          f"invocations, cross-checks included), records byte-identical")
     print(f"  shmoo (paper-sized grid): "
           f"{shmoo['exact']['tester_invocations']} -> "
           f"{shmoo['boundary']['tester_invocations']} tester invocations "

@@ -56,7 +56,7 @@ python benchmarks/perf/bench_campaign.py --validate BENCH_campaign.json \
     || status=$?
 rm -f "$bench_out"
 
-echo "== benchmark smoke (BENCH_frontier.json schema + reduction floors) =="
+echo "== benchmark smoke (BENCH_frontier.json schema + reduction/batch floors) =="
 frontier_out="$(mktemp /tmp/frontier_smoke.XXXXXX.json)"
 python benchmarks/perf/bench_frontier.py --quick --out "$frontier_out" \
     && python benchmarks/perf/bench_frontier.py --validate "$frontier_out" \
@@ -68,7 +68,8 @@ rm -f "$frontier_out"
 echo "== fast-path equivalence markers =="
 # Every guarded fast path must name the test file that proves it
 # byte-identical to its exact path -- and that file must exist.
-for module in src/repro/perf/frontier.py src/repro/tester/shmoo.py; do
+for module in src/repro/perf/frontier.py src/repro/perf/batch.py \
+              src/repro/tester/shmoo.py; do
     marker="$(grep -o 'Exact-path equivalence: [^ ]*' "$module" || true)"
     if [ -z "$marker" ]; then
         echo "$module: missing 'Exact-path equivalence: <test file>' marker"
@@ -92,7 +93,7 @@ python -m repro campaign run --rows 8 --columns 2 --bits 4 --sites 60 \
 # The text report must always render the failure-forensics sections
 # (with "(none)" when clean), and the JSON report must validate.
 report_txt="$(python -m repro report "$journal_out")" || status=$?
-for section in "Quarantines:" "Frontier demotions:"; do
+for section in "Quarantines:" "Frontier demotions:" "Batch demotions:"; do
     if ! grep -qF "$section" <<<"$report_txt"; then
         echo "journal report: missing '$section' section"
         status=1

@@ -387,8 +387,8 @@ def _campaign_execute(flow, specs, args: argparse.Namespace) -> int:
         flow.campaign.behavior = ChaosBehaviorModel(
             flow.campaign.behavior, injector)
     strategy = getattr(args, "strategy", "exact")
-    if strategy == "frontier" and args.workers > 1:
-        print("--strategy frontier is serial; drop --workers "
+    if strategy in ("frontier", "batch") and args.workers > 1:
+        print(f"--strategy {strategy} is serial; drop --workers "
               "(its group tables already shrink the work the pool "
               "would parallelise)", file=sys.stderr)
         return 2
@@ -432,10 +432,20 @@ def _campaign_execute(flow, specs, args: argparse.Namespace) -> int:
         print(f"frontier: {fs['model_invocations']} model invocations "
               f"over {fs['groups']} derived groups "
               f"({fs['cached_groups']} cached, "
+              f"{fs['batch_sites']} batch / "
               f"{fs['analytic_sites']} analytic / "
               f"{fs['bisection_sites']} bisected / "
               f"{fs['exact_sites'] + fs['demoted_sites']} exact sites, "
               f"{fs['crosscheck_mismatches']} cross-check mismatches)")
+    if result.batch_stats is not None:
+        bs = result.batch_stats
+        print(f"batch: {bs['model_invocations']} model invocations "
+              f"over {bs['groups']} derived groups "
+              f"({bs['cached_groups']} cached, "
+              f"{bs['batch_sites']} batch / "
+              f"{bs['fallback_sites'] + bs['demoted_sites']} fallback "
+              f"sites, "
+              f"{bs['crosscheck_mismatches']} cross-check mismatches)")
     if result.cache_stats is not None:
         cs = result.cache_stats
         print(f"cache: {cs['entries']} entries, "
@@ -659,12 +669,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="content-addressed evaluation cache file "
                              "(skips already-simulated points; see "
                              "docs/performance.md)")
-        cp.add_argument("--strategy", choices=("exact", "frontier"),
+        cp.add_argument("--strategy",
+                        choices=("exact", "frontier", "batch"),
                         default="exact",
-                        help="unit evaluation: exact per-site sweep, or "
-                             "the monotone-frontier threshold solver "
-                             "(byte-identical records, far fewer model "
-                             "invocations; serial only)")
+                        help="unit evaluation: exact per-site sweep, "
+                             "the monotone-frontier threshold solver, "
+                             "or the vectorised batch kernel "
+                             "(both byte-identical to exact, far "
+                             "fewer model invocations; serial only)")
         cp.add_argument("--max-attempts", type=int, default=3,
                         help="retry attempts per site evaluation")
         cp.add_argument("--unit-deadline", type=float, default=None,

@@ -41,9 +41,12 @@ Mechanisms implemented (paper cross-references):
 from __future__ import annotations
 
 import math
-from collections.abc import Callable
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 from enum import Enum
+from typing import Any
+
+import numpy as np
 
 from repro.circuit.technology import Technology
 from repro.defects.models import BridgeSite, Defect, DefectKind, OpenSite
@@ -697,5 +700,195 @@ class DefectBehaviorModel:
                 return path + added > period
 
             return ResistanceFrontier("detected_above", detects)
+
+        raise ValueError(f"unknown open site {site}")
+
+    # ------------------------------------------------------------------
+    # Vectorised batch evaluation (repro.perf.batch fast path)
+    # ------------------------------------------------------------------
+    def evaluate_batch(self, sites: Sequence[Defect],
+                       resistances: Sequence[float],
+                       condition: StressCondition) -> np.ndarray:
+        """Vectorised :meth:`fails_condition` over a site x R grid.
+
+        Answers one whole (kind, condition) sweep group in a single
+        call: element ``[i, j]`` is exactly
+        ``fails_condition(sites[i].with_resistance(resistances[j]),
+        condition)``.  *Exactly* means bit-identical, not approximately
+        equal: the closed forms below replay the scalar arithmetic of
+        :meth:`manifestation` with the same operand grouping and the
+        same comparison operators, restricted to IEEE-754-exact
+        elementwise numpy operations (``+ - * /``, comparisons,
+        ``maximum``).  Transcendentals (``log``, ``log10``, ``exp``,
+        ``**``) are never vectorised -- numpy's implementations may
+        differ from :mod:`math` by an ulp, enough to flip a boundary
+        cell -- and are instead computed per site or per grid point
+        through the identical :mod:`math` calls the scalar path makes.
+        See ``docs/batch_kernel.md`` for the full contract.
+
+        The hook is optional capability, never obligation: consumers
+        (:class:`~repro.perf.batch.BatchEvaluator`, the frontier
+        solver) probe for it with ``getattr`` and fall back to the
+        scalar path when it is absent, ``None`` or raising -- and
+        cross-check a seeded cell sample against ``fails_condition``
+        either way, so a lying implementation is demoted rather than
+        believed.
+
+        Args:
+            sites: Site population (each defect's ``resistance`` field
+                is ignored; site class, ``strength`` and ``polarity``
+                matter).
+            resistances: Resistance grid of the sweep group (ohms).
+            condition: The stress condition shared by the whole group.
+
+        Returns:
+            Boolean array of shape ``(len(sites), len(resistances))``.
+
+        Raises:
+            ValueError: a site's class is unknown to the model (the
+                scalar path raises identically, per site).
+        """
+        r = np.asarray(resistances, dtype=float)
+        out = np.zeros((len(sites), r.size), dtype=bool)
+        all_strengths = np.fromiter((d.strength for d in sites),
+                                    dtype=float, count=len(sites))
+        by_class: dict[Any, list[int]] = {}
+        for i, defect in enumerate(sites):
+            by_class.setdefault(defect.site, []).append(i)
+        for site_class, indices in by_class.items():
+            strengths = all_strengths[indices]
+            if isinstance(site_class, BridgeSite):
+                rows = self._bridge_batch(site_class, strengths, r,
+                                          condition)
+            elif isinstance(site_class, OpenSite):
+                rows = self._open_batch(site_class, strengths, r,
+                                        condition)
+            else:
+                raise ValueError(f"unknown defect site {site_class}")
+            out[indices] = rows
+        return out
+
+    def _bridge_batch(self, site: BridgeSite, strengths: np.ndarray,
+                      r: np.ndarray,
+                      condition: StressCondition) -> np.ndarray:
+        """Detection rows of one bridge class (op-order-exact)."""
+        p = self.params
+        vdd = condition.vdd
+
+        if site is BridgeSite.BITLINE_BITLINE:
+            # Union of the voltage and timing mechanisms of
+            # _bridge_manifestation.  The site spread goes through the
+            # identical math.log call, per site (tolist() hands back
+            # the exact doubles, so this mirrors _site_z(d, 0.5)
+            # bit-for-bit).
+            z = np.array([math.log(s) / 0.5 for s in strengths.tolist()],
+                         dtype=float)
+            v_mask = p.bitline_v_mask + p.bitline_v_sigma * z
+            r_crit = strengths * p.bitline_r
+            r_as = p.bitline_atspeed_r * strengths
+            develop_need = self._delay_scale(vdd, condition.temperature)
+            timing_armed = condition.period < 25e-9 * develop_need
+            voltage = ((vdd <= v_mask)[:, None]
+                       & (r[None, :] <= r_crit[:, None]))
+            timing = (r[None, :] <= r_as[:, None]) & timing_armed
+            return voltage | timing
+
+        r_crit = self._bridge_batch_critical(site, strengths, vdd,
+                                             condition.temperature)
+        # Mirrors "if defect.resistance > r_crit: return None".
+        return ~(r[None, :] > r_crit[:, None])
+
+    def _bridge_batch_critical(self, site: BridgeSite,
+                               strengths: np.ndarray, vdd: float,
+                               temperature: float) -> np.ndarray:
+        """Per-site critical resistances, exactly as the scalar path.
+
+        Every class keeps :meth:`bridge_critical_resistance`'s operand
+        grouping: ``strength * p.rail_c * shape`` is computed as
+        ``(strengths * p.rail_c) * shape``, never re-associated --
+        float multiplication is commutative but not associative, and
+        regrouping could flip a boundary comparison.
+        """
+        p = self.params
+        if site is BridgeSite.CELL_NODE_RAIL:
+            vt_eff = p.rail_vt_eff - self._temp_vt_shift(temperature)
+            if vdd <= vt_eff:
+                return np.full(strengths.shape, math.inf)
+            shape = vdd / (vdd - vt_eff) ** p.rail_alpha
+            return (strengths * p.rail_c) * shape
+        if site is BridgeSite.CELL_NODE_NODE:
+            frac = _sigmoid((p.snm_v_mid - vdd) / p.snm_v_width)
+            return strengths * (p.snm_r_lo
+                                + (p.snm_r_hi - p.snm_r_lo) * frac)
+        if site is BridgeSite.WORDLINE_CELL:
+            frac = _sigmoid((p.wordline_v_mid - vdd) / p.wordline_v_width)
+            return (strengths * p.wordline_r) * frac
+        if site is BridgeSite.DECODER_LOGIC:
+            return (strengths * p.decoder_r) * (
+                1.0 + 0.1 * (self.tech.vdd_nominal - vdd))
+        if site is BridgeSite.PERIPHERY_METAL:
+            return strengths * p.periphery_r
+        if site is BridgeSite.EQUIVALENT_NODE:
+            return np.zeros(strengths.shape)
+        raise ValueError(f"unknown bridge site {site}")
+
+    def _open_batch(self, site: OpenSite, strengths: np.ndarray,
+                    r: np.ndarray,
+                    condition: StressCondition) -> np.ndarray:
+        """Detection rows of one open class (op-order-exact)."""
+        p = self.params
+        vdd, period = condition.vdd, condition.period
+        scale = self._delay_scale(vdd, condition.temperature)
+        if math.isinf(scale):
+            # Below the path threshold every open is silent.
+            return np.zeros((strengths.size, r.size), dtype=bool)
+
+        if site is OpenSite.BITLINE_SEGMENT:
+            # added = (resistance * seg_c) * strength, grouped exactly
+            # as the scalar left-associative product.
+            added = (r * p.seg_c)[None, :] * strengths[:, None]
+            return p.seg_t0 + added > period
+
+        if site is OpenSite.CELL_ACCESS:
+            added = (r * p.access_c)[None, :] * strengths[:, None]
+            develop = p.access_t0 * scale
+            if vdd <= self.tech.vdd_vlv + 0.15:
+                develop *= p.access_vlv_blowup
+            window = 0.35 * period
+            return develop + added > window
+
+        if site is OpenSite.CELL_PULLUP:
+            leak = self._temp_leak_factor(condition.temperature)
+            r_vlv = (p.pullup_r_vlv * strengths) / leak
+            r_vmax = (p.pullup_r_vmax * strengths) / leak
+            out = np.zeros((strengths.size, r.size), dtype=bool)
+            if vdd <= self.tech.vdd_vlv + 0.1:
+                out |= r[None, :] >= r_vlv[:, None]
+            if vdd >= self.tech.vdd_max - 1e-9:
+                out |= r[None, :] >= r_vmax[:, None]
+            return out
+
+        if site is OpenSite.DECODER_INPUT:
+            # v_detect per (site, R) cell; both transcendental factors
+            # go through the identical math calls the scalar path
+            # makes -- per site for the spread, per grid point for the
+            # log-resistance term.
+            # Mirrors _site_z(d, 0.5) bit-for-bit (tolist() returns
+            # the exact doubles).
+            z = np.array([math.log(s) / 0.5 for s in strengths.tolist()],
+                         dtype=float)
+            l10 = np.array(
+                [math.log10(rj / p.dec_r_ref) for rj in r.tolist()],
+                dtype=float)
+            v = ((p.dec_v_base + p.dec_v_spread * z)[:, None]
+                 - (p.dec_v_slope * l10)[None, :])
+            v_detect = np.maximum(v, 0.5 * self.tech.vdd_vlv)
+            return vdd >= v_detect
+
+        if site is OpenSite.PERIPHERY_PATH:
+            added = ((r * p.periphery_c)[None, :]
+                     * strengths[:, None]) * scale
+            path = p.periphery_t0 * scale
+            return path + added > period
 
         raise ValueError(f"unknown open site {site}")

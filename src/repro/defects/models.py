@@ -25,7 +25,7 @@ Table 1; see DESIGN.md section 6 and
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from enum import Enum
 
 
@@ -162,7 +162,12 @@ class Defect:
         if not resistance > 0:
             raise ValueError(
                 f"resistance must be positive, got {resistance!r}")
-        return replace(self, resistance=float(resistance))
+        # Direct construction, not dataclasses.replace(): this runs
+        # once per (site, R) in every sweep, and replace()'s field
+        # introspection costs several times the constructor it wraps.
+        return Defect(self.kind, self.site, float(resistance),
+                      self.strength, self.cell, self.weight,
+                      self.polarity)
 
     def __str__(self) -> str:
         return (

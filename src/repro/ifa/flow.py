@@ -89,16 +89,30 @@ class IfaCampaign:
                           else IfaExtractor(geometry))
         self.n_sites = n_sites
         self.seed = seed
+        self._bridge_pop: list[Defect] | None = None
+        self._open_pop: list[Defect] | None = None
 
     # ------------------------------------------------------------------
     def bridge_population(self) -> list[Defect]:
-        """The sampled bridge-site population (R placeholder = 1 kOhm)."""
-        rng = np.random.default_rng(self.seed)
-        return self.extractor.sample_bridges(self.n_sites, rng)
+        """The sampled bridge-site population (R placeholder = 1 kOhm).
+
+        Sampling is deterministic given the seed, so the population is
+        memoised after the first call (critical-area extraction and
+        sampling dominate short campaigns otherwise); callers get a
+        fresh list each time, the Defect instances are frozen.
+        """
+        if self._bridge_pop is None:
+            rng = np.random.default_rng(self.seed)
+            self._bridge_pop = self.extractor.sample_bridges(
+                self.n_sites, rng)
+        return list(self._bridge_pop)
 
     def open_population(self) -> list[Defect]:
-        rng = np.random.default_rng(self.seed + 1)
-        return self.extractor.sample_opens(self.n_sites, rng)
+        if self._open_pop is None:
+            rng = np.random.default_rng(self.seed + 1)
+            self._open_pop = self.extractor.sample_opens(
+                self.n_sites, rng)
+        return list(self._open_pop)
 
     # ------------------------------------------------------------------
     def run(self, resistances: Sequence[float],
@@ -137,9 +151,11 @@ class IfaCampaign:
             workers: Evaluation processes (1 = serial).
             cache: Optional :class:`~repro.perf.cache.EvaluationCache`
                 or cache-file path.
-            strategy: ``"exact"`` or ``"frontier"`` -- the monotone
-                threshold sweep solver (:mod:`repro.perf.frontier`);
-                records are byte-identical either way.
+            strategy: ``"exact"``, ``"frontier"`` (the monotone
+                threshold sweep solver, :mod:`repro.perf.frontier`) or
+                ``"batch"`` (the vectorised group evaluator,
+                :mod:`repro.perf.batch`); records are byte-identical
+                in all three.
 
         Raises:
             ValueError: empty ``resistances`` or ``conditions``, or a

@@ -78,6 +78,10 @@ EVENT_CATALOG: dict[str, tuple[str, ...]] = {
     "frontier.group": ("kind", "condition", "sites", "cached"),
     "frontier.demote": ("kind", "condition", "site_index", "reason",
                         "stage"),
+    # Vectorised batch evaluator ----------------------------------------
+    "batch.group": ("kind", "condition", "sites", "cached"),
+    "batch.demote": ("kind", "condition", "site_index", "reason",
+                     "stage"),
     # Coverage database --------------------------------------------------
     "database.discard_corrupt_tmp": ("path", "error"),
     # Shmoo runner -------------------------------------------------------

@@ -65,6 +65,8 @@ def build_report(meta: dict[str, Any],
     quarantines: list[dict[str, Any]] = []
     demotions: list[dict[str, Any]] = []
     frontier_groups: list[dict[str, Any]] = []
+    batch_demotions: list[dict[str, Any]] = []
+    batch_groups: list[dict[str, Any]] = []
     checkpoints = {"saves": 0, "resumes": 0}
     pool: dict[str, Any] = {"worker_losses": 0, "deadline_losses": 0,
                             "rebuilds": 0, "redispatched_units": 0,
@@ -128,6 +130,10 @@ def build_report(meta: dict[str, Any],
             frontier_groups.append(dict(data))
         elif event.name == "frontier.demote":
             demotions.append(dict(data))
+        elif event.name == "batch.group":
+            batch_groups.append(dict(data))
+        elif event.name == "batch.demote":
+            batch_demotions.append(dict(data))
         elif event.name == "database.discard_corrupt_tmp":
             database["discarded_corrupt_tmp"].append(dict(data))
         elif event.name == "shmoo.start":
@@ -158,6 +164,7 @@ def build_report(meta: dict[str, Any],
         "retries": retries,
         "quarantines": quarantines,
         "frontier": {"groups": frontier_groups, "demotions": demotions},
+        "batch": {"groups": batch_groups, "demotions": batch_demotions},
         "pool": pool,
         "checkpoints": checkpoints,
         "database": database,
@@ -251,6 +258,17 @@ def render_text(report: dict[str, Any]) -> str:
         rows = [[d["kind"], d["condition"], str(d["site_index"]),
                  d["reason"], d["stage"]]
                 for d in report["frontier"]["demotions"]]
+        lines.extend("  " + ln for ln in _table(
+            ["kind", "condition", "site", "reason", "stage"], rows))
+    else:
+        lines.append("  (none)")
+
+    lines.append("")
+    lines.append("Batch demotions:")
+    if report["batch"]["demotions"]:
+        rows = [[d["kind"], d["condition"], str(d["site_index"]),
+                 d["reason"], d["stage"]]
+                for d in report["batch"]["demotions"]]
         lines.extend("  " + ln for ln in _table(
             ["kind", "condition", "site", "reason", "stage"], rows))
     else:

@@ -19,12 +19,21 @@ pass per (site, condition) -- guarded by cross-check sampling and
 per-site exact fallback so the records stay byte-identical
 (``CampaignRunner(strategy="frontier")``).
 
+A fourth removes the per-site Python loop altogether:
+:mod:`repro.perf.batch` answers each (kind, condition) group's full
+site x R grid in one vectorised ``evaluate_batch`` call whose closed
+forms replicate the scalar float arithmetic operation-for-operation,
+guarded by the same cross-check/demotion machinery and whole-group
+scalar fallback (``CampaignRunner(strategy="batch")``; see
+``docs/batch_kernel.md``).
+
 All plug into :class:`repro.runner.campaign.CampaignRunner` via its
 ``workers=``, ``cache=`` and ``strategy=`` arguments; the benchmark
 harnesses live in :mod:`repro.perf.bench` and
 :mod:`repro.perf.frontier_bench`.  See ``docs/performance.md``.
 """
 
+from repro.perf.batch import BatchEvaluator, BatchStats
 from repro.perf.cache import (
     EvaluationCache,
     frontier_cache_key,
@@ -51,6 +60,8 @@ from repro.perf.frontier import (
 )
 
 __all__ = [
+    "BatchEvaluator",
+    "BatchStats",
     "EvaluationCache",
     "frontier_cache_key",
     "unit_cache_key",

@@ -10,9 +10,12 @@ module exploits that:
 
 1. per (kind, condition) group, each site's detection row over the
    sweep's resistance grid is derived **once** -- from the model's
-   closed-form :meth:`~repro.defects.behavior.DefectBehaviorModel.
-   resistance_frontier` when available (zero model calls), else by
-   bisecting ``fails_condition`` over the grid under the declared
+   vectorised :meth:`~repro.defects.behavior.DefectBehaviorModel.
+   evaluate_batch` hook when available (one numpy call for the whole
+   group; see :mod:`repro.perf.batch`), else from the closed-form
+   :meth:`~repro.defects.behavior.DefectBehaviorModel.
+   resistance_frontier` (zero model calls), else by bisecting
+   ``fails_condition`` over the grid under the declared
    :meth:`~repro.defects.behavior.DefectBehaviorModel.
    resistance_monotonicity` (O(log |R|) calls);
 2. every work unit of the group then answers by table lookup.
@@ -33,9 +36,9 @@ Derived group tables are content-addressed into the evaluation cache
 so repeated frontier campaigns skip even the threshold pass.
 
 Caveat (chaos harness): :class:`~repro.runner.chaos.ChaosBehaviorModel`
-intercepts only ``fails_condition``; analytic frontiers bypass it, so a
-frontier campaign probes the chaos hook far less often than an exact
-one.  Recovery *semantics* are unchanged -- cross-check and fallback
+intercepts only ``fails_condition``; analytic frontiers bypass it (and
+the wrapper declines ``evaluate_batch`` outright), so a frontier
+campaign probes the chaos hook far less often than an exact one.  Recovery *semantics* are unchanged -- cross-check and fallback
 calls still go through the wrapper -- but soak tests that count
 injected faults should run ``strategy="exact"``.
 """
@@ -87,13 +90,29 @@ class FrontierPolicy:
             cross-checked -- under identical inputs); 1.0 checks every
             cell, making the solver exact-by-construction (and no
             faster than the exact path).
+        batch_crosscheck_fraction: Cell fraction used by
+            :class:`~repro.perf.batch.BatchEvaluator` instead of
+            ``crosscheck_fraction``.  The default is smaller because
+            the sampled populations differ in kind: frontier rows are
+            derived per site (independent declarations, so the sample
+            must cover sites), while one ``evaluate_batch`` call
+            answers every row from a single shared vectorised codepath
+            -- a lying implementation is wrong in a correlated,
+            class-wide way that a sparse sample still catches, and the
+            scalar-oracle equivalence tests guard the kernel itself.
+            Raise it (up to 1.0) when evaluating an untrusted
+            third-party hook.
         crosscheck_seed: Seed of the deterministic cell sample.
     """
 
     crosscheck_fraction: float = 0.05
+    batch_crosscheck_fraction: float = 0.01
     crosscheck_seed: int = 20050806
 
     def __post_init__(self) -> None:
+        if not 0.0 <= self.batch_crosscheck_fraction <= 1.0:
+            raise ValueError(
+                "batch_crosscheck_fraction must be in [0, 1]")
         if not 0.0 <= self.crosscheck_fraction <= 1.0:
             raise ValueError("crosscheck_fraction must be in [0, 1]")
 
@@ -106,6 +125,11 @@ class FrontierStats:
         groups: (kind, condition) groups whose table was derived.
         cached_groups: Groups served from the evaluation cache.
         sites: Site decisions made across all derived groups.
+        batch_sites: Sites whose detection row came straight out of the
+            model's vectorised ``evaluate_batch`` hook (zero scalar
+            model invocations; see :mod:`repro.perf.batch`).  Batch
+            rows are still shape-checked against any declared
+            monotonicity and cross-checked like analytic rows.
         analytic_sites: Sites answered by a closed-form frontier
             (zero model invocations).
         bisection_sites: Sites answered by bisecting ``fails_condition``
@@ -141,6 +165,7 @@ class FrontierStats:
     groups: int = 0
     cached_groups: int = 0
     sites: int = 0
+    batch_sites: int = 0
     analytic_sites: int = 0
     bisection_sites: int = 0
     exact_sites: int = 0
@@ -171,6 +196,7 @@ class FrontierStats:
             "groups": self.groups,
             "cached_groups": self.cached_groups,
             "sites": self.sites,
+            "batch_sites": self.batch_sites,
             "analytic_sites": self.analytic_sites,
             "bisection_sites": self.bisection_sites,
             "exact_sites": self.exact_sites,
@@ -399,11 +425,77 @@ class FrontierUnitEvaluator:
         self._groups[gkey] = table
         return table
 
+    def _batch_rows(self, kind: DefectKind, condition: Any,
+                    grid: list[float], population: Sequence[Defect],
+                    ) -> list[list[bool]] | None:
+        """Candidate detection rows from ``evaluate_batch``, or ``None``.
+
+        One vectorised call answers the whole group; the hook is a
+        capability probe like the frontier declarations -- absent or
+        ``None`` routes derivation to the per-site path silently, a
+        raising hook or a wrong-shape result does the same but leaves a
+        group-level demotion entry (``site_index=-1``, stage
+        ``batch``).  Rows returned here are *candidates*: they still
+        face the per-site shape check and the group cross-check.
+        """
+        behavior = self.campaign.behavior
+        hook = getattr(behavior, "evaluate_batch", None)
+        if hook is None:
+            return None
+        import numpy as np
+        try:
+            matrix = np.asarray(hook(population, list(grid), condition),
+                                dtype=bool)
+        except Exception as exc:
+            self.stats.record_demotion(
+                kind, condition, -1, "probe-error", "batch",
+                error=f"evaluate_batch: {type(exc).__name__}: {exc}")
+            return None
+        expected = (len(population), len(grid))
+        if matrix.shape != expected:
+            self.stats.record_demotion(
+                kind, condition, -1, "bad-shape", "batch",
+                error=f"evaluate_batch returned shape {matrix.shape}, "
+                      f"expected {expected}")
+            return None
+        return list(matrix.tolist())
+
     def _derive_group(self, kind: DefectKind, condition: Any,
                       grid: list[float], population: Sequence[Defect],
                       ) -> list[list[bool] | None]:
-        """Derive (and cross-check) every site's detection row."""
+        """Derive (and cross-check) every site's detection row.
+
+        Sources, in preference order: the vectorised batch hook (one
+        call for the whole group), a closed-form frontier, bisection
+        under a declared monotonicity, exact per-unit fallback.  Batch
+        rows are shape-checked against any declared monotonicity and
+        cross-checked exactly like analytic rows.
+        """
         behavior = self.campaign.behavior
+        batch_rows = self._batch_rows(kind, condition, grid, population)
+        if batch_rows is not None:
+            decisions_b: list[list[bool] | None] = []
+            for site_index, site in enumerate(population):
+                row_b: list[bool] | None = batch_rows[site_index]
+                orientation = self._declared(
+                    behavior, "resistance_monotonicity", site, condition,
+                    kind, site_index)
+                if (orientation in _ORIENTATIONS and row_b is not None
+                        and not _is_monotone(row_b, orientation)):
+                    # The batch row contradicts the model's own
+                    # declared orientation: distrust it entirely.
+                    self.stats.nonmonotone_rejects += 1
+                    self.stats.demoted_sites += 1
+                    self.stats.record_demotion(
+                        kind, condition, site_index, "non-monotone",
+                        "shape-check")
+                    row_b = None
+                elif row_b is not None:
+                    self.stats.batch_sites += 1
+                decisions_b.append(row_b)
+            self._crosscheck(kind, condition, grid, population,
+                             decisions_b)
+            return decisions_b
         decisions: list[list[bool] | None] = []
         for site_index, site in enumerate(population):
             row: list[bool] | None = None

@@ -107,6 +107,9 @@ class CampaignResult:
         frontier_stats: Counters of the frontier sweep solver
             (:class:`~repro.perf.frontier.FrontierStats` as a dict;
             ``None`` unless ``strategy="frontier"`` evaluated units).
+        batch_stats: Counters of the vectorised batch evaluator
+            (:class:`~repro.perf.batch.BatchStats` as a dict;
+            ``None`` unless ``strategy="batch"`` evaluated units).
         supervisor_stats: Counters of the supervised worker pool
             (:class:`~repro.perf.supervisor.SupervisorStats` as a
             dict; ``None`` unless ``workers > 1`` ran supervised).
@@ -126,6 +129,7 @@ class CampaignResult:
     retry_stats: RetryStats = field(default_factory=RetryStats)
     cache_stats: dict[str, Any] | None = None
     frontier_stats: dict[str, Any] | None = None
+    batch_stats: dict[str, Any] | None = None
     supervisor_stats: dict[str, Any] | None = None
     metrics: dict[str, Any] | None = None
 
@@ -213,11 +217,17 @@ class CampaignRunner:
             per (kind, condition) group and answers the sweep by
             comparison (:mod:`repro.perf.frontier`), with guarded
             per-site fallback to exact -- records are byte-identical
-            either way.  Frontier evaluation is serial by design (the
-            group tables amortise across units, which a process pool
-            would duplicate per worker), so it rejects ``workers > 1``.
-        frontier_policy: Cross-check knobs of the frontier strategy
-            (:class:`~repro.perf.frontier.FrontierPolicy`).
+            either way.  ``"batch"`` answers each (kind, condition)
+            group's full site x R grid in one vectorised
+            ``evaluate_batch`` call (:mod:`repro.perf.batch`), guarded
+            by the same cross-check machinery, with whole-group scalar
+            fallback for models without the hook -- records are again
+            byte-identical.  Frontier and batch evaluation are serial
+            by design (the group tables amortise across units, which a
+            process pool would duplicate per worker), so both reject
+            ``workers > 1``.
+        frontier_policy: Cross-check knobs of the frontier and batch
+            strategies (:class:`~repro.perf.frontier.FrontierPolicy`).
         journal: Observability sink (:mod:`repro.obs`).  ``None``
             (default) disables it entirely -- the hot path then makes
             zero event-bus invocations.  A path writes a JSONL run
@@ -260,12 +270,13 @@ class CampaignRunner:
             raise ValueError("max_pool_rebuilds must be >= 0")
         if chunk_deadline_factor <= 0:
             raise ValueError("chunk_deadline_factor must be positive")
-        if strategy not in ("exact", "frontier"):
+        if strategy not in ("exact", "frontier", "batch"):
             raise ValueError(
-                f"strategy must be 'exact' or 'frontier', got {strategy!r}")
-        if strategy == "frontier" and workers > 1:
+                f"strategy must be 'exact', 'frontier' or 'batch', "
+                f"got {strategy!r}")
+        if strategy in ("frontier", "batch") and workers > 1:
             raise ValueError(
-                "strategy='frontier' is serial (its group tables "
+                f"strategy={strategy!r} is serial (its group tables "
                 "amortise across units); use workers=1, or "
                 "strategy='exact' for the process pool")
         self.campaign = campaign
@@ -288,6 +299,7 @@ class CampaignRunner:
         self.sleep = sleep
         self.clock = clock
         self._frontier_evaluator: Any = None
+        self._batch_evaluator: Any = None
         self._supervisor: Any = None
 
     def _journal_bus(self) -> Any:
@@ -415,6 +427,16 @@ class CampaignRunner:
                 unit_deadline=self.unit_deadline,
                 sleep=self.sleep, clock=self.clock)
             self._frontier_evaluator = evaluator
+            return (evaluator.evaluate(unit) for unit in pending)
+        if self.strategy == "batch":
+            from repro.perf.batch import BatchEvaluator
+
+            evaluator = BatchEvaluator(
+                self.campaign, plan=units, retry=self.retry,
+                policy=self.frontier_policy, cache=self.cache,
+                unit_deadline=self.unit_deadline,
+                sleep=self.sleep, clock=self.clock)
+            self._batch_evaluator = evaluator
             return (evaluator.evaluate(unit) for unit in pending)
         if self.workers == 1:
             evaluator = UnitEvaluator(self.campaign, retry=self.retry,
@@ -560,6 +582,8 @@ class CampaignRunner:
             result.cache_stats = self.cache.stats()
         if self._frontier_evaluator is not None:
             result.frontier_stats = self._frontier_evaluator.stats.as_dict()
+        if self._batch_evaluator is not None:
+            result.batch_stats = self._batch_evaluator.stats.as_dict()
         if self._supervisor is not None:
             result.supervisor_stats = self._supervisor.stats.as_dict()
         if bus is not None:
@@ -619,13 +643,19 @@ class CampaignRunner:
 
     def _emit_run_done(self, bus: Any, metrics: Any,
                        result: CampaignResult) -> None:
-        """Emit the frontier ledgers and the run's terminal event."""
+        """Emit the frontier/batch ledgers and the run's terminal event."""
         if result.frontier_stats is not None:
             for group in result.frontier_stats["group_log"]:
                 bus.emit("frontier.group", **group)
             for d in result.frontier_stats["demotions"]:
                 bus.emit("frontier.demote", **d)
                 metrics.inc(f"frontier.demote.{d['reason']}")
+        if result.batch_stats is not None:
+            for group in result.batch_stats["group_log"]:
+                bus.emit("batch.group", **group)
+            for d in result.batch_stats["demotions"]:
+                bus.emit("batch.demote", **d)
+                metrics.inc(f"batch.demote.{d['reason']}")
         if result.cache_stats is not None:
             metrics.set_gauge("cache.hit_rate",
                               result.cache_stats["hit_rate"])

@@ -288,9 +288,19 @@ class ChaosBehaviorModel:
     DefectBehaviorModel` duck interface; the campaign only calls
     ``fails_condition``, so that is the probed surface.  Site label:
     ``behavior.evaluate``.
+
+    Declines the vectorised ``evaluate_batch`` capability even when the
+    wrapped model offers it: a batch call answers a whole site x R
+    grid without touching ``fails_condition``, which would skip the
+    injector's per-site probes and change the fault pattern.  The
+    class attribute below shadows ``__getattr__`` delegation, so batch
+    evaluators see ``None`` and take the all-scalar fallback --
+    chaos campaigns probe site-for-site exactly like
+    ``strategy="exact"``.
     """
 
     SITE = "behavior.evaluate"
+    evaluate_batch = None
 
     def __init__(self, inner, injector: FaultInjector) -> None:
         self.inner = inner

@@ -113,7 +113,9 @@ class TestEquivalence:
             5 * frontier_campaign.behavior.calls)
         stats = frontier.frontier_stats
         assert stats is not None
-        assert stats["analytic_sites"] == stats["sites"]
+        # The vectorised hook now derives every site in one call; the
+        # per-site analytic inversion is its fallback.
+        assert stats["batch_sites"] == stats["sites"]
         assert stats["crosscheck_mismatches"] == 0
         assert exact.frontier_stats is None
 

@@ -231,6 +231,21 @@ class TestCampaign:
             build_parser().parse_args(["campaign", "run",
                                        "--strategy", "turbo"])
 
+    def test_run_with_batch_strategy(self, capsys):
+        rc = main(["campaign", "run", *self.ARGS,
+                   "--strategy", "batch"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "campaign complete" in out
+        assert "batch:" in out and "model invocations" in out
+
+    def test_batch_rejects_workers(self, capsys):
+        rc = main(["campaign", "run", *self.ARGS,
+                   "--strategy", "batch", "--workers", "2"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "serial" in err
+
 
 class TestShmooStrategy:
     def test_boundary_strategy_prints_trace_stats(self, capsys):
