@@ -65,11 +65,51 @@ python benchmarks/perf/bench_frontier.py --validate BENCH_frontier.json \
     || status=$?
 rm -f "$frontier_out"
 
+echo "== benchmark smoke (BENCH_experiment.json schema + throughput/invariance floors) =="
+experiment_out="$(mktemp /tmp/experiment_smoke.XXXXXX.json)"
+python benchmarks/perf/bench_experiment.py --quick --out "$experiment_out" \
+    && python benchmarks/perf/bench_experiment.py --validate "$experiment_out" \
+    || status=$?
+python benchmarks/perf/bench_experiment.py --validate BENCH_experiment.json \
+    || status=$?
+rm -f "$experiment_out"
+
+echo "== streaming-experiment smoke (experiment run --journal -> repro report) =="
+exp_journal="$(mktemp /tmp/experiment_smoke.XXXXXX.jsonl)"
+python -m repro experiment run --devices 8192 --shard-devices 4096 \
+    --journal "$exp_journal" >/dev/null || status=$?
+# The journal must carry the full experiment.shard -> experiment.merge
+# event chain (one shard event per shard, one merge), and the text
+# report must render the streaming section from it.
+python - "$exp_journal" <<'PYEOF' || status=$?
+import json, sys
+events = []
+with open(sys.argv[1]) as fh:
+    for line in fh:
+        record = json.loads(line)
+        if "event" in record:
+            events.append(record)
+shards = [e for e in events if e["event"] == "experiment.shard"]
+merges = [e for e in events if e["event"] == "experiment.merge"]
+assert len(shards) == 2, f"expected 2 experiment.shard events, got {len(shards)}"
+assert [e["data"]["shard"] for e in shards] == [0, 1], "shard events out of plan order"
+assert len(merges) == 1, f"expected 1 experiment.merge event, got {len(merges)}"
+assert merges[0]["data"]["devices"] == 8192, merges[0]["data"]
+print("experiment journal: shard/merge chain ok,", len(events), "events")
+PYEOF
+exp_report="$(python -m repro report "$exp_journal")" || status=$?
+if ! grep -qF "Streaming experiment:" <<<"$exp_report"; then
+    echo "experiment smoke: report missing 'Streaming experiment:' section"
+    status=1
+fi
+rm -f "$exp_journal"
+
 echo "== fast-path equivalence markers =="
 # Every guarded fast path must name the test file that proves it
 # byte-identical to its exact path -- and that file must exist.
 for module in src/repro/perf/frontier.py src/repro/perf/batch.py \
-              src/repro/tester/shmoo.py; do
+              src/repro/tester/shmoo.py \
+              src/repro/experiment/streaming/engine.py; do
     marker="$(grep -o 'Exact-path equivalence: [^ ]*' "$module" || true)"
     if [ -z "$marker" ]; then
         echo "$module: missing 'Exact-path equivalence: <test file>' marker"

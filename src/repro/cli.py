@@ -130,6 +130,96 @@ def _cmd_venn(args: argparse.Namespace) -> int:
     return 0
 
 
+def _experiment_injector(args: argparse.Namespace, plan):
+    """Parse ``--chaos-worker-* SHARD[:TIMES]`` into a fault injector."""
+    tables: dict[str, dict[str, int]] = {}
+    flags = (("worker.exit", getattr(args, "chaos_worker_exit", [])),
+             ("worker.hang", getattr(args, "chaos_worker_hang", [])))
+    if not any(values for _, values in flags):
+        return None
+    shards = plan.shards()
+    for site, values in flags:
+        for value in values:
+            index_text, _, times_text = value.partition(":")
+            try:
+                index = int(index_text)
+                times = int(times_text) if times_text else 1
+            except ValueError:
+                raise SystemExit(
+                    f"--chaos-worker-*: expected SHARD[:TIMES] with "
+                    f"integers, got {value!r}") from None
+            if not 0 <= index < len(shards):
+                raise SystemExit(
+                    f"--chaos-worker-*: shard index {index} out of "
+                    f"range (plan has {len(shards)} shards)")
+            tables.setdefault(site, {})[shards[index].unit_id] = times
+    from repro.runner.chaos import FaultInjector
+
+    return FaultInjector(seed=args.chaos_seed, rates={},
+                         worker_faults=tables)
+
+
+def _cmd_experiment_run(args: argparse.Namespace) -> int:
+    from repro.defects.distribution import DefectDensity
+    from repro.experiment.streaming import (
+        ShardPlan,
+        StreamingExperiment,
+        StreamingRunner,
+    )
+
+    plan_kwargs = {}
+    if args.shard_devices is not None:
+        plan_kwargs["shard_devices"] = args.shard_devices
+    if args.block_devices is not None:
+        plan_kwargs["block_devices"] = args.block_devices
+    plan = ShardPlan(n_devices=args.devices, seed=args.seed,
+                     scheme=args.scheme, **plan_kwargs)
+    injector = _experiment_injector(args, plan)
+    behavior = None
+    if injector is not None:
+        from repro.circuit.technology import CMOS018
+        from repro.defects.behavior import DefectBehaviorModel
+        from repro.runner.chaos import ChaosBehaviorModel
+
+        behavior = ChaosBehaviorModel(DefectBehaviorModel(CMOS018),
+                                      injector)
+    engine = StreamingExperiment(
+        n_devices=args.devices, seed=args.seed,
+        density=DefectDensity(d0_per_cm2=args.d0,
+                              bridge_fraction=args.bridge_fraction),
+        shard_devices=args.shard_devices,
+        block_devices=args.block_devices,
+        scheme=args.scheme, behavior=behavior,
+        diagnose=args.diagnose)
+    runner = StreamingRunner(
+        engine, checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        unit_deadline=args.unit_deadline, workers=args.workers,
+        max_pool_rebuilds=args.max_pool_rebuilds,
+        journal=args.journal,
+        fault_hook=injector.check if injector is not None else None)
+    result = runner.run()
+    shards = len(engine.plan.shards())
+    print(f"experiment complete: {args.devices} devices across "
+          f"{shards} shard(s) ({result.resumed_shards} resumed from "
+          f"checkpoint, {result.executed_shards} executed"
+          + (f" across {args.workers} workers" if args.workers > 1 else "")
+          + ")")
+    print(result.render())
+    if result.quarantine:
+        print(f"poisoned shards: {len(result.quarantine)}")
+    stats = result.supervisor_stats
+    if stats is not None and any(stats.values()):
+        print("pool supervision: "
+              f"worker losses {stats['worker_losses']}, "
+              f"rebuilds {stats['rebuilds']}, "
+              f"redispatched {stats['redispatched_units']}, "
+              f"poison units {stats['poison_units']}")
+    if args.journal:
+        print(f"run journal: {args.journal}")
+    return 0
+
+
 def _cmd_plan(args: argparse.Namespace) -> int:
     from repro.core.testplan import JointCoverageTable, TestPlanOptimizer
     from repro.march.library import get_test
@@ -593,6 +683,69 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--diagnose", action="store_true",
                    help="bitmap-diagnose every interesting device")
     p.set_defaults(func=_cmd_venn)
+
+    p = sub.add_parser(
+        "experiment",
+        help="streaming sharded experiment at 10^6-10^7 devices",
+        description="Map-reduce the Veqtor4 virtual-silicon experiment "
+                    "over block-substreamed shards: O(classes) memory, "
+                    "checkpoint/resume, worker pools.  See "
+                    "docs/performance.md.")
+    esub = p.add_subparsers(dest="experiment_command", required=True)
+    ep = esub.add_parser("run",
+                         help="run (or resume) a streaming experiment")
+    ep.add_argument("--devices", type=int, default=1_000_000,
+                    help="population size")
+    ep.add_argument("--seed", type=int, default=1105, help="root RNG seed")
+    ep.add_argument("--shard-devices", type=int, default=None,
+                    help="devices per shard (dispatch/checkpoint unit; "
+                         "results are shard-layout invariant)")
+    ep.add_argument("--block-devices", type=int, default=None,
+                    help="devices per RNG block (changing it changes "
+                         "the drawn population)")
+    ep.add_argument("--scheme", choices=("spawn", "legacy"),
+                    default="spawn",
+                    help="spawn = sharded block substreams; legacy = "
+                         "original single-stream draw order "
+                         "(single-shard, byte-identical to `repro venn`)")
+    ep.add_argument("--workers", type=int, default=1,
+                    help="evaluation processes (1 = serial; results "
+                         "are identical either way)")
+    ep.add_argument("--checkpoint", metavar="PATH", default=None,
+                    help="checkpoint file (enables kill/resume)")
+    ep.add_argument("--checkpoint-every", type=int, default=8,
+                    help="completed shards per checkpoint write")
+    ep.add_argument("--unit-deadline", type=float, default=None,
+                    metavar="SECONDS",
+                    help="wall-clock budget per shard; with --workers "
+                         "> 1 it also sizes the supervisor's "
+                         "hung-worker chunk deadline")
+    ep.add_argument("--max-pool-rebuilds", type=int, default=8,
+                    help="worker-pool rebuilds before degrading to "
+                         "serial in-parent evaluation")
+    ep.add_argument("--journal", metavar="PATH", default=None,
+                    help="write a JSONL run journal (inspect with "
+                         "`repro report PATH`)")
+    ep.add_argument("--diagnose", action="store_true",
+                    help="bitmap-diagnose interesting devices into "
+                         "hint histograms")
+    ep.add_argument("--d0", type=float, default=3.5,
+                    help="defect density per cm^2")
+    ep.add_argument("--bridge-fraction", type=float, default=0.8,
+                    help="fraction of defects that are bridges")
+    ep.add_argument("--chaos-seed", type=int, default=0,
+                    help="fault-injection seed")
+    ep.add_argument("--chaos-worker-exit", action="append", default=[],
+                    metavar="SHARD[:TIMES]",
+                    help="kill the worker on the given shard index's "
+                         "first TIMES dispatches (repeatable; "
+                         "rehearses the pool supervisor)")
+    ep.add_argument("--chaos-worker-hang", action="append", default=[],
+                    metavar="SHARD[:TIMES]",
+                    help="hang the worker on the given shard index's "
+                         "first TIMES dispatches (needs "
+                         "--unit-deadline)")
+    ep.set_defaults(func=_cmd_experiment_run)
 
     p = sub.add_parser("plan", help="optimise the stress-condition plan")
     p.add_argument("--test", default="11N", help="march test name")

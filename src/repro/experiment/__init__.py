@@ -21,15 +21,26 @@ from repro.experiment.diagnosis import (
 from repro.experiment.montecarlo import (
     MonteCarloResult,
     RegionStats,
+    monte_carlo_seeds,
     run_monte_carlo,
 )
 from repro.experiment.population import PopulationGenerator, PopulationSpec
+from repro.experiment.streaming import (
+    ExperimentAccumulator,
+    ShardEvaluator,
+    ShardPlan,
+    ShardUnit,
+    StreamingExperiment,
+    StreamingResult,
+    StreamingRunner,
+)
 from repro.experiment.veqtor import VeqtorChip, VeqtorTestBench
-from repro.experiment.venn import PAPER_VENN, VennCounts
+from repro.experiment.venn import PAPER_VENN, REGION_FIELDS, VennCounts
 
 __all__ = [
     "DeviceDiagnosis",
     "DeviceRecord",
+    "ExperimentAccumulator",
     "LotDiagnosis",
     "LotDiagnostician",
     "ExperimentResult",
@@ -38,11 +49,19 @@ __all__ = [
     "PAPER_VENN",
     "PopulationGenerator",
     "PopulationSpec",
+    "REGION_FIELDS",
     "STANDARD_NAMES",
     "STRESS_NAMES",
+    "ShardEvaluator",
+    "ShardPlan",
+    "ShardUnit",
     "StressClassifier",
+    "StreamingExperiment",
+    "StreamingResult",
+    "StreamingRunner",
     "VennCounts",
     "VeqtorChip",
     "VeqtorTestBench",
+    "monte_carlo_seeds",
     "run_monte_carlo",
 ]

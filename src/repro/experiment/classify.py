@@ -77,7 +77,14 @@ class ExperimentResult:
 
     def escape_dpm(self, condition: str) -> float:
         """Escapes-per-million of the standard flow that adding one
-        stress condition would have caught."""
+        stress condition would have caught.
+
+        An empty lot has no escapes by definition, so ``n_devices == 0``
+        returns 0.0 instead of dividing by zero (regression-tested; the
+        streaming engine can legitimately reduce empty sub-populations).
+        """
+        if self.n_devices <= 0:
+            return 0.0
         caught = sum(1 for r in self.interesting_devices
                      if condition in r.failed_stress)
         return 1e6 * caught / self.n_devices
@@ -104,25 +111,35 @@ class StressClassifier:
         self.bench = VeqtorTestBench(VirtualTester(behavior), geometry, tech)
         self.conditions = production_conditions(tech)
 
+    def classify_chip(self, chip: VeqtorChip) -> DeviceRecord | None:
+        """Classify one part; ``None`` for a clean (defect-free) chip.
+
+        The per-chip core of :meth:`classify`, exposed so streaming
+        consumers (:mod:`repro.experiment.streaming`) can fold records
+        into sufficient statistics without materializing a lot.
+        """
+        if not chip.is_defective:
+            return None
+        failed_standard = any(
+            self.bench.chip_fails(chip, self.test, self.conditions[n])
+            for n in STANDARD_NAMES
+        )
+        if failed_standard:
+            return DeviceRecord(chip, True)
+        failed = frozenset(
+            name for name in STRESS_NAMES
+            if self.bench.chip_fails(chip, self.test, self.conditions[name])
+        )
+        return DeviceRecord(chip, False, failed)
+
     def classify(self, chips: list[VeqtorChip]) -> ExperimentResult:
         """Classify a lot; clean chips short-circuit for speed."""
         result = ExperimentResult(n_devices=len(chips))
-        standard = {n: self.conditions[n] for n in STANDARD_NAMES}
-        stress = {n: self.conditions[n] for n in STRESS_NAMES}
         for chip in chips:
-            if not chip.is_defective:
+            record = self.classify_chip(chip)
+            if record is None:
                 continue
-            failed_standard = any(
-                self.bench.chip_fails(chip, self.test, cond)
-                for cond in standard.values()
-            )
-            if failed_standard:
+            if record.failed_standard:
                 result.n_standard_fails += 1
-                result.records.append(DeviceRecord(chip, True))
-                continue
-            failed = frozenset(
-                name for name, cond in stress.items()
-                if self.bench.chip_fails(chip, self.test, cond)
-            )
-            result.records.append(DeviceRecord(chip, False, failed))
+            result.records.append(record)
         return result

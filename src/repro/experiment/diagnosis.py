@@ -63,6 +63,24 @@ class LotDiagnosis:
     devices: list[DeviceDiagnosis] = field(default_factory=list)
     hint_histogram: dict[str, Counter] = field(default_factory=dict)
 
+    def merge(self, other: "LotDiagnosis") -> "LotDiagnosis":
+        """Fold ``other`` into this diagnosis in place and return self.
+
+        Device lists concatenate and per-condition hint histograms add
+        counter-wise, mirroring the
+        :meth:`repro.obs.metrics.MetricsRegistry.merge` reduce contract
+        so shard-local diagnoses combine into the lot-level view.  The
+        resulting histogram is order-independent (Counter addition is
+        commutative and associative; property-tested); the device list
+        keeps merge order, so reduce in shard order for deterministic
+        rendering.
+        """
+        self.devices.extend(other.devices)
+        for condition, counts in other.hint_histogram.items():
+            self.hint_histogram.setdefault(condition, Counter())
+            self.hint_histogram[condition] += counts
+        return self
+
     def render(self) -> str:
         lines = [f"diagnosed devices: {len(self.devices)}"]
         for condition, counts in sorted(self.hint_histogram.items()):

@@ -71,6 +71,25 @@ class PopulationGenerator:
                           else IfaExtractor(geometry))
 
     # ------------------------------------------------------------------
+    def iter_chips(self):
+        """Yield the lot one chip at a time, in legacy RNG order.
+
+        The draw sequence (per-instance Poisson count, then per-defect
+        kind/site/resistance) is exactly :meth:`generate`'s, so a
+        streaming consumer sees the identical lot without holding it in
+        memory -- the equivalence oracle for the sharded engine's
+        ``scheme="legacy"`` path.
+        """
+        rng = np.random.default_rng(self.spec.seed)
+        lam = self.spec.density.defects_per_chip(self.geometry.array_area_um2())
+        for chip_id in range(self.spec.n_devices):
+            chip = VeqtorChip(chip_id)
+            for instance in range(VeqtorChip.N_INSTANCES):
+                count = int(rng.poisson(lam))
+                for _ in range(count):
+                    chip.add_defect(instance, self._draw_defect(rng))
+            yield chip
+
     def generate(self) -> list[VeqtorChip]:
         """Draw the lot.
 
@@ -78,17 +97,7 @@ class PopulationGenerator:
         a bridge with probability ``bridge_fraction`` else an open, with
         site/strength from the extractor and R from the fab distribution.
         """
-        rng = np.random.default_rng(self.spec.seed)
-        lam = self.spec.density.defects_per_chip(self.geometry.array_area_um2())
-        chips: list[VeqtorChip] = []
-        for chip_id in range(self.spec.n_devices):
-            chip = VeqtorChip(chip_id)
-            for instance in range(VeqtorChip.N_INSTANCES):
-                count = int(rng.poisson(lam))
-                for _ in range(count):
-                    chip.add_defect(instance, self._draw_defect(rng))
-            chips.append(chip)
-        return chips
+        return list(self.iter_chips())
 
     def _draw_defect(self, rng: np.random.Generator):
         if rng.random() < self.spec.density.bridge_fraction:

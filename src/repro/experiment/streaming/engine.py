@@ -1,0 +1,372 @@
+"""Worker-side core of the streaming experiment: generation + map step.
+
+This module runs inside pool worker processes (it is listed in the
+code-lint pack's worker modules), so it never touches an event bus:
+every fact ships back to the parent inside the
+:class:`~repro.runner.evaluate.UnitOutcome` payload.
+
+:class:`StreamingExperiment` is the campaign-shaped object the
+:mod:`repro.perf` executors understand -- it pickles small (lazy
+caches are dropped), exposes ``behavior`` for chaos probes and a
+``unit_evaluator`` factory that
+:func:`repro.perf.executor.make_evaluator` prefers over the stock
+:class:`~repro.runner.evaluate.UnitEvaluator`.
+
+Generation is vectorised per RNG block: one ``poisson`` call for the
+whole block's defect-count matrix, one uniform draw for defect kinds,
+and one batched attribute-per-array defect draw
+(:meth:`~repro.ifa.extraction.IfaExtractor.sample_batch`), after which
+only *defective* chips materialize as objects -- O(defective), not
+O(devices), and ~94 % of devices are clean at the paper's D0.
+
+Exact-path equivalence: tests/experiment/test_streaming.py
+(``scheme="legacy"`` reduces the original single-stream draw order to
+a payload byte-identical to the materialised pipeline's).
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Iterator
+from typing import Any
+
+import numpy as np
+
+from repro.circuit.technology import CMOS018, Technology
+from repro.defects.distribution import (
+    DefectDensity,
+    ResistanceDistribution,
+    default_bridge_distribution,
+    default_open_distribution,
+)
+from repro.defects.models import DefectKind
+from repro.experiment.classify import StressClassifier
+from repro.experiment.diagnosis import LotDiagnostician
+from repro.experiment.population import PopulationGenerator, PopulationSpec
+from repro.experiment.streaming.accumulator import ExperimentAccumulator
+from repro.experiment.streaming.plan import ShardPlan, ShardUnit
+from repro.experiment.veqtor import VeqtorChip
+from repro.ifa.extraction import IfaExtractor
+from repro.memory.geometry import VEQTOR4_INSTANCE, MemoryGeometry
+from repro.runner.evaluate import UnitDeadlineExceeded, UnitOutcome
+from repro.runner.retry import RetryStats
+
+#: Names of the lazily-built caches dropped from pickles: each worker
+#: rebuilds them deterministically, keeping the pool-init payload small
+#: (the classifier's test bench alone is megabytes once warmed).
+_LAZY_SLOTS = ("_classifier", "_generator", "_extractor", "_diagnostician")
+
+
+class StreamingExperiment:
+    """The sharded million-device experiment (campaign-shaped).
+
+    Args:
+        n_devices: Population size (the paper: ~11k; this engine:
+            10^6 -- 10^7).
+        seed: Root RNG seed.
+        density: Defect density / kind mix (defaults to the
+            qualification-lot :class:`PopulationSpec` density).
+        shard_devices: Devices per dispatch/checkpoint unit.
+        block_devices: Devices per RNG block (the vectorised batch).
+        scheme: ``"spawn"`` (sharded block substreams) or ``"legacy"``
+            (single-stream, single-shard; byte-identical to
+            :class:`~repro.experiment.population.PopulationGenerator`).
+        geometry: Per-instance memory organisation.
+        tech: Technology corner.
+        behavior: Behaviour-model override (possibly chaos-wrapped;
+            exposed as ``.behavior`` for the executor fault probes).
+        diagnose: Run bitmap diagnosis on interesting devices and
+            accumulate hint histograms.
+        bridge_distribution / open_distribution: Fab R distributions.
+    """
+
+    def __init__(self, n_devices: int = 1_000_000, seed: int = 1105,
+                 density: DefectDensity | None = None,
+                 shard_devices: int | None = None,
+                 block_devices: int | None = None,
+                 scheme: str = "spawn",
+                 geometry: MemoryGeometry = VEQTOR4_INSTANCE,
+                 tech: Technology = CMOS018,
+                 behavior: Any = None,
+                 diagnose: bool = False,
+                 bridge_distribution: ResistanceDistribution | None = None,
+                 open_distribution: ResistanceDistribution | None = None,
+                 ) -> None:
+        plan_kwargs: dict[str, Any] = {}
+        if shard_devices is not None:
+            plan_kwargs["shard_devices"] = shard_devices
+        if block_devices is not None:
+            plan_kwargs["block_devices"] = block_devices
+        self.plan = ShardPlan(n_devices=n_devices, seed=seed,
+                              scheme=scheme, **plan_kwargs)
+        self.density = (density if density is not None
+                        else PopulationSpec().density)
+        self.geometry = geometry
+        self.tech = tech
+        self.diagnose = diagnose
+        self.bridge_distribution = (bridge_distribution
+                                    or default_bridge_distribution())
+        self.open_distribution = (open_distribution
+                                  or default_open_distribution())
+        self._behavior = behavior
+        self._classifier: StressClassifier | None = None
+        self._generator: PopulationGenerator | None = None
+        self._extractor: IfaExtractor | None = None
+        self._diagnostician: LotDiagnostician | None = None
+
+    # ------------------------------------------------------------------
+    # Pickling: ship configuration, rebuild caches per process
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict[str, Any]:
+        state = dict(self.__dict__)
+        for name in _LAZY_SLOTS:
+            state[name] = None
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__dict__.update(state)
+
+    # ------------------------------------------------------------------
+    # Lazily-built collaborators
+    # ------------------------------------------------------------------
+    @property
+    def spec(self) -> PopulationSpec:
+        """The equivalent legacy population spec."""
+        return PopulationSpec(n_devices=self.plan.n_devices,
+                              density=self.density, seed=self.plan.seed)
+
+    @property
+    def classifier(self) -> StressClassifier:
+        """The (cached) screen-then-stress classifier."""
+        if self._classifier is None:
+            self._classifier = StressClassifier(
+                tech=self.tech, geometry=self.geometry,
+                behavior=self._behavior)
+        return self._classifier
+
+    @property
+    def behavior(self) -> Any:
+        """The behaviour model under test (chaos probes hook in here)."""
+        return self.classifier.bench.tester.behavior
+
+    @property
+    def extractor(self) -> IfaExtractor:
+        """The (cached) IFA site extractor."""
+        if self._extractor is None:
+            self._extractor = IfaExtractor(self.geometry)
+        return self._extractor
+
+    @property
+    def generator(self) -> PopulationGenerator:
+        """The (cached) legacy-scheme population generator."""
+        if self._generator is None:
+            self._generator = PopulationGenerator(
+                self.spec, geometry=self.geometry, tech=self.tech,
+                bridge_distribution=self.bridge_distribution,
+                open_distribution=self.open_distribution,
+                extractor=self.extractor)
+        return self._generator
+
+    @property
+    def diagnostician(self) -> LotDiagnostician:
+        """The (cached) bitmap diagnostician."""
+        if self._diagnostician is None:
+            self._diagnostician = LotDiagnostician(tech=self.tech)
+        return self._diagnostician
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    def meta(self) -> dict[str, Any]:
+        """The experiment fingerprint stored in checkpoints/journals.
+
+        Execution knobs (workers, chunk size) are deliberately absent
+        -- they change how the experiment runs, never what it computes
+        -- but ``shard_devices`` is present: the checkpoint keys on
+        shard unit ids, so resuming requires the same shard layout
+        (results do not; see the shard-invariance tests).
+        """
+        return {
+            "experiment": "streaming-veqtor4",
+            "devices": self.plan.n_devices,
+            "seed": self.plan.seed,
+            "scheme": self.plan.scheme,
+            "shard_devices": self.plan.shard_devices,
+            "block_devices": self.plan.block_devices,
+            "d0_per_cm2": self.density.d0_per_cm2,
+            "bridge_fraction": self.density.bridge_fraction,
+            "diagnose": self.diagnose,
+        }
+
+    # ------------------------------------------------------------------
+    # Streaming generation
+    # ------------------------------------------------------------------
+    def iter_shard_chips(self, shard: ShardUnit) -> Iterator[VeqtorChip]:
+        """Yield the shard's chips without materializing the shard.
+
+        Under ``spawn``, only *defective* chips are yielded (clean
+        devices are implied by ``shard.devices``); under ``legacy``
+        every chip streams through in the original draw order.
+        """
+        if self.plan.scheme == "legacy":
+            yield from self.generator.iter_chips()
+            return
+        for block_index, start, stop in self.plan.blocks_of(shard):
+            yield from self._block_chips(block_index, start, stop)
+
+    def _block_chips(self, block_index: int, start: int,
+                     stop: int) -> Iterator[VeqtorChip]:
+        """Vectorised draw of one RNG block's defective chips.
+
+        The block substream consumes in a fixed order -- Poisson count
+        matrix, kind uniforms, batched bridge draws, batched open draws
+        -- so the block's chips are a pure function of
+        ``(seed, block_index)`` regardless of shard layout or worker
+        count.
+        """
+        seq = np.random.SeedSequence(entropy=self.plan.seed,
+                                     spawn_key=(block_index,))
+        rng = np.random.default_rng(seq)
+        lam = self.density.defects_per_chip(self.geometry.array_area_um2())
+        n = stop - start
+        counts = rng.poisson(lam, size=(n, VeqtorChip.N_INSTANCES))
+        total = int(counts.sum())
+        if total == 0:
+            return
+        is_bridge = rng.random(total) < self.density.bridge_fraction
+        n_bridges = int(is_bridge.sum())
+        bridges = self.extractor.sample_batch(
+            n_bridges, rng, DefectKind.BRIDGE,
+            resistance_distribution=self.bridge_distribution)
+        opens = self.extractor.sample_batch(
+            total - n_bridges, rng, DefectKind.OPEN,
+            resistance_distribution=self.open_distribution)
+        per_chip = counts.sum(axis=1)
+        rows = np.nonzero(per_chip)[0]
+        cursor = bi = oi = 0
+        for row in rows:
+            chip = VeqtorChip(start + int(row))
+            for instance in range(VeqtorChip.N_INSTANCES):
+                for _ in range(int(counts[row, instance])):
+                    if is_bridge[cursor]:
+                        chip.add_defect(instance, bridges[bi])
+                        bi += 1
+                    else:
+                        chip.add_defect(instance, opens[oi])
+                        oi += 1
+                    cursor += 1
+            yield chip
+
+    # ------------------------------------------------------------------
+    # Executor integration
+    # ------------------------------------------------------------------
+    def unit_evaluator(self, retry: Any = None,
+                       unit_deadline: float | None = None,
+                       sleep: Callable[[float], None] = time.sleep,
+                       clock: Callable[[], float] = time.monotonic,
+                       ) -> "ShardEvaluator":
+        """The evaluator factory :func:`make_evaluator` duck-types."""
+        return ShardEvaluator(self, retry=retry,
+                              unit_deadline=unit_deadline,
+                              sleep=sleep, clock=clock)
+
+
+class ShardEvaluator:
+    """Evaluate shard units into accumulator payloads.
+
+    The streaming counterpart of
+    :class:`~repro.runner.evaluate.UnitEvaluator`: one lives in the
+    serial runner, one per worker process in the pool, and the parent
+    supervisor builds one for poison fallbacks.  ``evaluate`` returns a
+    :class:`~repro.runner.evaluate.UnitOutcome` whose ``record`` is the
+    shard's :meth:`ExperimentAccumulator.as_payload` dict.
+
+    Args:
+        campaign: The :class:`StreamingExperiment`.
+        retry: Accepted for executor-interface parity; shard evaluation
+            has no per-site retry loop (the classifier is
+            deterministic), so it is unused.
+        unit_deadline: Optional wall-clock budget per shard (seconds).
+        sleep: Injectable sleep (interface parity).
+        clock: Injectable monotonic clock for deadlines.
+    """
+
+    def __init__(self, campaign: StreamingExperiment, retry: Any = None,
+                 unit_deadline: float | None = None,
+                 sleep: Callable[[float], None] = time.sleep,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if unit_deadline is not None and unit_deadline <= 0:
+            raise ValueError("unit_deadline must be positive")
+        self.campaign = campaign
+        self.retry = retry
+        self.unit_deadline = unit_deadline
+        self.sleep = sleep
+        self.clock = clock
+
+    def evaluate(self, shard: ShardUnit) -> UnitOutcome:
+        """Generate, classify and accumulate one shard.
+
+        Raises:
+            UnitDeadlineExceeded: the shard overran ``unit_deadline``.
+        """
+        engine = self.campaign
+        classifier = engine.classifier
+        # Chaos bookkeeping (duck-typed: absent outside chaos runs) --
+        # the same unit-scoped snapshot protocol as UnitEvaluator, so
+        # outcomes carry injector counter growth across the process
+        # boundary.
+        injector = getattr(engine.behavior, "injector", None)
+        if injector is not None and hasattr(injector, "begin_unit"):
+            injector.begin_unit(shard.unit_id)
+        snapshot = (injector.counter_snapshot()
+                    if injector is not None
+                    and hasattr(injector, "counter_snapshot") else None)
+        started = self.clock()
+        acc = ExperimentAccumulator(devices=shard.devices)
+        diagnostician = engine.diagnostician if engine.diagnose else None
+        seen = 0
+        for chip in engine.iter_shard_chips(shard):
+            seen += 1
+            record = classifier.classify_chip(chip)
+            if record is None:
+                continue
+            acc.observe(record)
+            if diagnostician is not None and record.interesting:
+                device = diagnostician.diagnose_device(record)
+                acc.observe_hints(device.hints)
+            if (self.unit_deadline is not None
+                    and self.clock() - started > self.unit_deadline):
+                raise UnitDeadlineExceeded(
+                    f"{shard} exceeded its {self.unit_deadline:g}s "
+                    f"budget after {seen} chips; completed shards are "
+                    "checkpointed -- fix the stall and resume")
+        payload: Any = acc.as_payload()
+        injections = (injector.counters_since(snapshot)
+                      if snapshot is not None else {})
+        return UnitOutcome(index=shard.index, unit_id=shard.unit_id,
+                           record=payload, quarantine=[],
+                           stats=RetryStats(), injections=injections)
+
+    def poison_outcome(self, shard: ShardUnit, attempts: int,
+                       error: str) -> UnitOutcome:
+        """Synthesise the quarantine outcome of a poison shard.
+
+        Called by the pool supervisor's last line of defence: the
+        shard's devices are counted as ``errors`` (claiming nothing
+        about their classification) and the ledger carries one
+        whole-shard entry with the sentinel ``site_index == -1``.
+        """
+        acc = ExperimentAccumulator(devices=shard.devices,
+                                    errors=shard.devices)
+        payload: Any = acc.as_payload()
+        entry = {
+            "unit_id": shard.unit_id,
+            "site_index": -1,
+            "defect": "<entire shard>",
+            "attempts": attempts,
+            "error": error,
+            "deadline_hit": False,
+        }
+        return UnitOutcome(index=shard.index, unit_id=shard.unit_id,
+                           record=payload, quarantine=[entry],
+                           stats=RetryStats())

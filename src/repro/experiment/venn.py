@@ -23,6 +23,19 @@ _REGIONS: tuple[frozenset[str], ...] = (
     frozenset({"VLV", "Vmax", "at-speed"}),
 )
 
+#: Exact stress-fail set -> :class:`VennCounts` field name.  The reduce
+#: step of the streaming experiment engine keys on this mapping, so it
+#: is part of the accumulator payload contract.
+REGION_FIELDS: dict[frozenset[str], str] = {
+    frozenset({"VLV"}): "vlv_only",
+    frozenset({"Vmax"}): "vmax_only",
+    frozenset({"at-speed"}): "atspeed_only",
+    frozenset({"VLV", "Vmax"}): "vlv_vmax",
+    frozenset({"VLV", "at-speed"}): "vlv_atspeed",
+    frozenset({"Vmax", "at-speed"}): "vmax_atspeed",
+    frozenset({"VLV", "Vmax", "at-speed"}): "all_three",
+}
+
 
 @dataclass(frozen=True)
 class VennCounts:
@@ -72,6 +85,33 @@ class VennCounts:
             "all three": self.all_three,
         }
 
+    def __add__(self, other: "VennCounts") -> "VennCounts":
+        """Field-wise sum: combine two disjoint sub-population Venns.
+
+        Addition is commutative and associative with ``VennCounts()``
+        as identity (property-tested), which makes ``VennCounts`` a
+        valid map-reduce accumulator: shard-local Venns merge into the
+        lot-level Venn in any order.
+        """
+        if not isinstance(other, VennCounts):
+            return NotImplemented
+        return VennCounts(
+            vlv_only=self.vlv_only + other.vlv_only,
+            vmax_only=self.vmax_only + other.vmax_only,
+            atspeed_only=self.atspeed_only + other.atspeed_only,
+            vlv_vmax=self.vlv_vmax + other.vlv_vmax,
+            vlv_atspeed=self.vlv_atspeed + other.vlv_atspeed,
+            vmax_atspeed=self.vmax_atspeed + other.vmax_atspeed,
+            all_three=self.all_three + other.all_three,
+        )
+
+    def merge(self, other: "VennCounts") -> "VennCounts":
+        """Alias of :meth:`__add__` mirroring the
+        :meth:`repro.obs.metrics.MetricsRegistry.merge` reduce contract
+        (``VennCounts`` is frozen, so merge returns the combined value
+        instead of mutating in place)."""
+        return self + other
+
     def render(self, title: str = "") -> str:
         """ASCII Venn summary."""
         lines = [title] if title else []
@@ -85,21 +125,25 @@ class VennCounts:
         return "\n".join(lines)
 
     @classmethod
+    def from_class_counts(
+            cls, counts: dict[frozenset[str], int]) -> "VennCounts":
+        """Build from exact stress-fail-set counts (the reduce input).
+
+        Raises:
+            ValueError: a key is not one of the seven Venn regions.
+        """
+        unknown = sorted(
+            "+".join(sorted(key)) for key in counts
+            if key not in REGION_FIELDS)
+        if unknown:
+            raise ValueError(
+                f"unknown Venn region(s): {', '.join(unknown)}")
+        fields = {REGION_FIELDS[key]: n for key, n in counts.items()}
+        return cls(**fields)
+
+    @classmethod
     def from_experiment(cls, result: ExperimentResult) -> "VennCounts":
-        counts = result.stress_class_counts()
-
-        def get(*names: str) -> int:
-            return counts.get(frozenset(names), 0)
-
-        return cls(
-            vlv_only=get("VLV"),
-            vmax_only=get("Vmax"),
-            atspeed_only=get("at-speed"),
-            vlv_vmax=get("VLV", "Vmax"),
-            vlv_atspeed=get("VLV", "at-speed"),
-            vmax_atspeed=get("Vmax", "at-speed"),
-            all_three=get("VLV", "Vmax", "at-speed"),
-        )
+        return cls.from_class_counts(result.stress_class_counts())
 
 
 #: The paper's Figure 11 numbers (out of ~11k devices).

@@ -217,6 +217,58 @@ class IfaExtractor:
         return self._sample(n, rng, classes, DefectKind.OPEN,
                             resistance_sampler)
 
+    def sample_batch(self, n: int, rng: np.random.Generator,
+                     kind: DefectKind,
+                     resistance_distribution=None) -> list[Defect]:
+        """Draw ``n`` defects of ``kind`` with one numpy call per attribute.
+
+        The vectorised counterpart of :meth:`sample_bridges` /
+        :meth:`sample_opens` used by the streaming experiment engine
+        (:mod:`repro.experiment.streaming`): site picks, strengths,
+        cells, polarities and resistances are each drawn as one array,
+        so per-defect cost is a few microseconds instead of the scalar
+        path's ~175 us.  The attribute *marginals* match the scalar
+        path but the RNG consumption order differs (array-per-attribute
+        vs interleaved per defect), so given the same generator state
+        the two paths yield different -- equally valid -- populations;
+        deterministic substream seeding, not stream splicing, is the
+        reproducibility contract here.
+
+        Args:
+            n: Population size; ``0`` returns an empty list.
+            rng: Source generator.
+            kind: ``DefectKind.BRIDGE`` or ``DefectKind.OPEN``.
+            resistance_distribution: Optional
+                :class:`~repro.defects.distribution.ResistanceDistribution`;
+                resistances default to 1 kOhm when omitted (matching the
+                scalar samplers' default).
+        """
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        if n == 0:
+            return []
+        classes = (self.bridge_site_classes() if kind is DefectKind.BRIDGE
+                   else self.open_site_classes())
+        sites = [c.site for c in classes]
+        probs = np.array([c.weight for c in classes], dtype=float)
+        probs = probs / probs.sum()
+        picks = rng.choice(len(sites), size=n, p=probs)
+        sigmas = np.array([STRENGTH_SIGMA[s] for s in sites], dtype=float)
+        strengths = np.exp(rng.normal(0.0, 1.0, size=n) * sigmas[picks])
+        cells = rng.integers(0, self.geometry.bits, size=n)
+        polarities = np.where(rng.random(n) < 0.5, -1, 1)
+        if resistance_distribution is not None:
+            resistances = np.asarray(
+                resistance_distribution.sample(rng, n), dtype=float)
+        else:
+            resistances = np.full(n, 1e3)
+        return [
+            Defect(kind, sites[int(picks[i])], float(resistances[i]),
+                   strength=float(strengths[i]), cell=int(cells[i]),
+                   weight=1.0, polarity=int(polarities[i]))
+            for i in range(n)
+        ]
+
     def _sample(self, n: int, rng: np.random.Generator,
                 classes: list[ExtractedSiteClass], kind: DefectKind,
                 resistance_sampler) -> list[Defect]:

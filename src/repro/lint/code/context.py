@@ -36,6 +36,7 @@ from pathlib import Path
 WORKER_MODULES = frozenset({
     "repro.runner.evaluate",
     "repro.perf.executor",
+    "repro.experiment.streaming.engine",
 })
 
 #: The one module allowed to use bare write/rename primitives: it *is*

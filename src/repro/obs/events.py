@@ -89,6 +89,11 @@ EVENT_CATALOG: dict[str, tuple[str, ...]] = {
     "shmoo.row": ("row", "vdd", "first_pass"),
     "shmoo.fallback": (),
     "shmoo.done": ("tester_invocations",),
+    # Streaming sharded experiment (parent-side, in shard-plan order) ---
+    "experiment.shard": ("shard", "devices", "defective", "interesting",
+                         "source"),
+    "experiment.merge": ("shards", "devices", "defective", "interesting",
+                         "standard_fails"),
 }
 
 

@@ -74,6 +74,7 @@ def build_report(meta: dict[str, Any],
                             "poison_units": []}
     database = {"discarded_corrupt_tmp": []}
     shmoo: dict[str, Any] | None = None
+    experiment: dict[str, Any] | None = None
     sources: dict[str, int] = {}
 
     for event in events:
@@ -148,6 +149,26 @@ def build_report(meta: dict[str, Any],
             shmoo["fallbacks"] += 1
         elif event.name == "shmoo.done" and shmoo is not None:
             shmoo["tester_invocations"] = data["tester_invocations"]
+        elif event.name == "experiment.shard":
+            if experiment is None:
+                experiment = {"shards": 0, "devices": 0, "defective": 0,
+                              "interesting": 0, "standard_fails": None,
+                              "shard_sources": {}}
+            experiment["shards"] += 1
+            experiment["devices"] += data["devices"]
+            experiment["defective"] += data["defective"]
+            experiment["interesting"] += data["interesting"]
+            sources_row = experiment["shard_sources"]
+            sources_row[data["source"]] = (
+                sources_row.get(data["source"], 0) + 1)
+        elif event.name == "experiment.merge" and experiment is not None:
+            # The merge event is authoritative (it carries the reduced
+            # accumulator); per-shard sums above double as a
+            # consistency cross-check for readers.
+            experiment["devices"] = data["devices"]
+            experiment["defective"] = data["defective"]
+            experiment["interesting"] = data["interesting"]
+            experiment["standard_fails"] = data["standard_fails"]
 
     probes = cache["hits"] + cache["misses"]
     if probes:
@@ -169,6 +190,7 @@ def build_report(meta: dict[str, Any],
         "checkpoints": checkpoints,
         "database": database,
         "shmoo": shmoo,
+        "experiment": experiment,
     }
 
 
@@ -310,4 +332,18 @@ def render_text(report: dict[str, Any]) -> str:
                 shmoo["strategy"], shmoo["voltages"], shmoo["periods"],
                 shmoo["rows"], shmoo["fallbacks"],
                 shmoo["tester_invocations"]))
+
+    experiment = report.get("experiment")
+    if experiment is not None:
+        lines.append("")
+        lines.append(
+            "Streaming experiment: shards={} devices={} defective={} "
+            "interesting={} standard_fails={}".format(
+                experiment["shards"], experiment["devices"],
+                experiment["defective"], experiment["interesting"],
+                experiment["standard_fails"]))
+        source_bits = ", ".join(
+            f"{name}={count}" for name, count in
+            sorted(experiment["shard_sources"].items()))
+        lines.append(f"  shard sources: {source_bits}")
     return "\n".join(lines) + "\n"

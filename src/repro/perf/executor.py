@@ -55,7 +55,7 @@ from repro.runner.units import WorkUnit
 #: per-chunk dispatch overhead stays negligible.
 DEFAULT_CHUNKS_PER_WORKER = 4
 
-_EVALUATOR: UnitEvaluator | None = None
+_EVALUATOR: Any = None
 
 #: Cause of a failed worker initialisation (worker-side; shipped to the
 #: parent inside the :exc:`WorkerInitError` every task then raises).
@@ -79,6 +79,27 @@ class WorkerInitError(RuntimeError):
     """
 
 
+def make_evaluator(campaign: Any, retry: RetryPolicy | None = None,
+                   unit_deadline: float | None = None,
+                   **kwargs: Any) -> Any:
+    """Build the unit evaluator for ``campaign`` (duck typed).
+
+    A campaign that defines a callable ``unit_evaluator(...)`` factory
+    supplies its own evaluator -- the streaming experiment engine
+    (:mod:`repro.experiment.streaming`) ships a ``ShardEvaluator`` this
+    way -- otherwise the stock
+    :class:`~repro.runner.evaluate.UnitEvaluator` is built.  Either
+    evaluator must expose ``campaign``, ``evaluate(unit)`` and (for
+    supervised pools) optionally ``poison_outcome(unit, attempts,
+    error)``.
+    """
+    factory = getattr(campaign, "unit_evaluator", None)
+    if callable(factory):
+        return factory(retry=retry, unit_deadline=unit_deadline, **kwargs)
+    return UnitEvaluator(campaign, retry=retry, unit_deadline=unit_deadline,
+                         **kwargs)
+
+
 def _init_worker(payload: bytes) -> None:
     """Pool initializer: rebuild this process's evaluator once.
 
@@ -91,8 +112,8 @@ def _init_worker(payload: bytes) -> None:
     _IN_WORKER = True
     try:
         campaign, retry, unit_deadline = pickle.loads(payload)
-        _EVALUATOR = UnitEvaluator(campaign, retry=retry,
-                                   unit_deadline=unit_deadline)
+        _EVALUATOR = make_evaluator(campaign, retry=retry,
+                                    unit_deadline=unit_deadline)
     except BaseException as exc:  # noqa: BLE001 -- reported, not lost
         _INIT_ERROR = f"{type(exc).__name__}: {exc}"
 

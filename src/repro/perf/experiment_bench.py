@@ -1,0 +1,361 @@
+"""Streaming-experiment benchmark: throughput, memory, invariance.
+
+Produces the ``BENCH_experiment.json`` artefact documented in
+``docs/performance.md``.  Five measurements, every equivalence checked
+byte-identical (canonical JSON of the shard-payload form) before any
+number is reported:
+
+* **streaming** -- a full :class:`~repro.experiment.StreamingExperiment`
+  run at the configured device count (10^6 by default), timed serially:
+  the headline ``devices_per_sec`` figure;
+* **memory** -- ``tracemalloc`` peaks of two streaming runs that differ
+  only in device count: the O(classes) reduce means the peak must be a
+  function of the shard/block shape, not of N (``memory_independent``);
+* **legacy** -- the original materialise-the-whole-lot path
+  (:meth:`PopulationGenerator.generate` +
+  :meth:`StressClassifier.classify`) timed at an equal, smaller N
+  against the streaming path: ``speedup`` (floor: 5x);
+* **legacy_identical** -- ``scheme="legacy"`` streaming folds the exact
+  single-stream draw order, so its accumulator payload must equal
+  :meth:`ExperimentAccumulator.from_experiment` of the legacy result;
+* **shard_invariant** / **worker_invariant** -- the same population
+  reduced under a different shard layout and under a 2-process pool
+  must produce byte-identical payloads (the block-substream contract).
+
+The validator (:func:`validate_experiment_bench`) enforces the floors:
+``devices_per_sec`` at least :data:`MIN_DEVICES_PER_SEC`, ``speedup``
+at least :data:`MIN_LEGACY_SPEEDUP`, and all four flags true -- so a
+regression that breaks the determinism contract or erodes the streaming
+win fails the artefact's schema check, not just a benchmark eyeball.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from dataclasses import asdict, dataclass
+from typing import Any
+
+from repro.experiment.streaming.accumulator import ExperimentAccumulator
+from repro.experiment.streaming.engine import StreamingExperiment
+from repro.experiment.streaming.runner import StreamingRunner
+from repro.runner.atomic import canonical_json
+
+#: Schema tag of the emitted BENCH_experiment.json document.
+EXPERIMENT_BENCH_SCHEMA = "repro.bench-experiment/1"
+
+#: Acceptance floors enforced by the validator.  The throughput floor
+#: is deliberately far below the measured ~380k devices/sec so that a
+#: loaded CI host does not flake it, while still catching an
+#: accidental return to the ~26k devices/sec materialise-everything
+#: path.
+MIN_DEVICES_PER_SEC = 50_000.0
+MIN_LEGACY_SPEEDUP = 5.0
+
+#: Peak-memory ratio between the large and small streaming runs above
+#: which the O(classes) claim is considered broken.  The two runs share
+#: shard/block shape, so their per-shard working sets are identical and
+#: only the accumulator (bounded by the class lattice) differs.
+MAX_MEMORY_RATIO = 1.25
+
+
+@dataclass(frozen=True)
+class ExperimentBenchConfig:
+    """Shape of the streaming-experiment benchmark.
+
+    Attributes:
+        devices: Population of the headline streaming run.
+        seed: Root RNG seed (every half shares it).
+        shard_devices: Shard size of the timed runs.
+        alt_shard_devices: Second shard size for the invariance check.
+        memory_devices: Device counts of the two tracemalloc probes.
+        legacy_devices: Equal-N size of the legacy-vs-streaming timing
+            (the legacy path materialises the whole lot, so this stays
+            small enough to keep the benchmark seconds-scale).
+        invariance_devices: Size of the shard/worker invariance runs.
+        workers: Pool width of the worker-invariance run.
+    """
+
+    devices: int = 1_000_000
+    seed: int = 1105
+    shard_devices: int = 65_536
+    alt_shard_devices: int = 16_384
+    memory_devices: tuple[int, int] = (262_144, 1_048_576)
+    legacy_devices: int = 40_960
+    invariance_devices: int = 131_072
+    workers: int = 2
+
+    @classmethod
+    def quick(cls) -> "ExperimentBenchConfig":
+        """A seconds-scale configuration for CI smoke runs.
+
+        Every half shrinks but keeps the same structure: the
+        invariance and identity checks are exact regardless of N, and
+        the throughput/speedup floors are structural (vectorised block
+        generation vs per-chip Python), not population-dependent.
+        """
+        return cls(devices=65_536,
+                   shard_devices=16_384,
+                   alt_shard_devices=8_192,
+                   memory_devices=(32_768, 131_072),
+                   legacy_devices=8_192,
+                   invariance_devices=32_768)
+
+    def __post_init__(self) -> None:
+        small, large = self.memory_devices
+        if small >= large:
+            raise ValueError(
+                "memory_devices must be (small, large) with small < "
+                f"large, got {self.memory_devices}")
+
+
+def _engine(config: ExperimentBenchConfig, n_devices: int,
+            shard_devices: int | None = None,
+            scheme: str = "spawn") -> StreamingExperiment:
+    """A fresh engine sharing the benchmark's seed and shard shape."""
+    return StreamingExperiment(
+        n_devices=n_devices,
+        seed=config.seed,
+        shard_devices=(shard_devices if shard_devices is not None
+                       else config.shard_devices),
+        scheme=scheme)
+
+
+def _payload(config: ExperimentBenchConfig, n_devices: int,
+             shard_devices: int | None = None, workers: int = 1,
+             scheme: str = "spawn") -> dict[str, Any]:
+    """Run a streaming experiment and return its canonical payload."""
+    runner = StreamingRunner(
+        _engine(config, n_devices, shard_devices, scheme),
+        workers=workers)
+    return runner.run().accumulator.as_payload()
+
+
+def _warm(engine: StreamingExperiment) -> None:
+    """Build an engine's one-off setup outside any benchmark clock.
+
+    Classifier/tester construction and the extractor's critical-area
+    extraction are identical fixed costs on the legacy and streaming
+    sides; at small equal-N they would dominate both timings and
+    flatten the per-device difference the speedup figure measures.
+    """
+    engine.classifier
+    engine.extractor.bridge_site_classes()
+    engine.extractor.open_site_classes()
+
+
+def _bench_streaming(config: ExperimentBenchConfig) -> dict[str, Any]:
+    """Time the headline serial streaming run: devices/sec."""
+    runner = StreamingRunner(_engine(config, config.devices))
+    started = time.perf_counter()
+    result = runner.run()
+    seconds = time.perf_counter() - started
+    acc = result.accumulator
+    return {
+        "devices": acc.devices,
+        "defective": acc.defective,
+        "interesting": acc.interesting,
+        "shards": result.executed_shards,
+        "seconds": round(seconds, 6),
+        "devices_per_sec": round(acc.devices / seconds, 1),
+    }
+
+
+def _peak_bytes(config: ExperimentBenchConfig, n_devices: int) -> int:
+    """tracemalloc peak of one streaming run (numpy blocks included)."""
+    tracemalloc.start()
+    try:
+        StreamingRunner(_engine(config, n_devices)).run()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak
+
+
+def _bench_memory(config: ExperimentBenchConfig) -> dict[str, Any]:
+    """Peak-RSS probe: same shard shape, two device counts.
+
+    Both runs stream the same 65k-device shards, so the per-shard
+    working set (one block's count matrix + defect batches + the
+    defective chips of that block) is identical; only the O(classes)
+    accumulator and the O(n_shards) plan differ.  A peak that grows
+    with N means something is materialising the lot.
+    """
+    small_n, large_n = config.memory_devices
+    small_peak = _peak_bytes(config, small_n)
+    large_peak = _peak_bytes(config, large_n)
+    ratio = round(large_peak / max(1, small_peak), 3)
+    return {
+        "small_devices": small_n,
+        "large_devices": large_n,
+        "small_peak_bytes": small_peak,
+        "large_peak_bytes": large_peak,
+        "peak_ratio": ratio,
+        "memory_independent": ratio <= MAX_MEMORY_RATIO,
+    }
+
+
+def _bench_legacy(config: ExperimentBenchConfig) -> dict[str, Any]:
+    """Equal-N legacy vs streaming timing plus the identity check.
+
+    The legacy half is the pre-streaming pipeline exactly as `repro
+    venn` runs it: materialise every chip, then classify the list.  The
+    identity half re-folds the same single-stream draw order through
+    ``scheme="legacy"`` streaming and compares canonical payloads.
+
+    Both engines are warmed (classifier, tester, critical-area
+    extraction) before their clocks start: those are shared one-off
+    setup costs, identical on both sides, and at the small equal-N
+    this comparison runs at they would otherwise swamp the per-device
+    evaluation costs the speedup figure exists to measure.
+    """
+    n = config.legacy_devices
+    legacy_engine = _engine(config, n, scheme="legacy")
+    generator = legacy_engine.generator
+    classifier = legacy_engine.classifier
+    _warm(legacy_engine)
+    started = time.perf_counter()
+    chips = generator.generate()
+    legacy_result = classifier.classify(chips)
+    legacy_seconds = time.perf_counter() - started
+    legacy_payload = ExperimentAccumulator.from_experiment(
+        legacy_result).as_payload()
+
+    streaming_engine = _engine(config, n)
+    _warm(streaming_engine)
+    runner = StreamingRunner(streaming_engine)
+    started = time.perf_counter()
+    runner.run()
+    streaming_seconds = time.perf_counter() - started
+
+    identity_payload = _payload(config, n, scheme="legacy")
+    legacy_identical = (canonical_json(identity_payload)
+                        == canonical_json(legacy_payload))
+    if not legacy_identical:
+        raise RuntimeError(
+            "scheme='legacy' streaming diverged from the materialised "
+            "legacy pipeline -- the equivalence oracle is broken")
+    return {
+        "devices": n,
+        "legacy_seconds": round(legacy_seconds, 6),
+        "streaming_seconds": round(streaming_seconds, 6),
+        "speedup": (round(legacy_seconds / streaming_seconds, 2)
+                    if streaming_seconds else None),
+        "legacy_identical": legacy_identical,
+    }
+
+
+def _bench_invariance(config: ExperimentBenchConfig) -> dict[str, Any]:
+    """Shard-layout and worker-count invariance at a shared N."""
+    n = config.invariance_devices
+    base = _payload(config, n)
+    resharded = _payload(config, n,
+                         shard_devices=config.alt_shard_devices)
+    pooled = _payload(config, n, workers=config.workers)
+    shard_invariant = canonical_json(base) == canonical_json(resharded)
+    worker_invariant = canonical_json(base) == canonical_json(pooled)
+    if not (shard_invariant and worker_invariant):
+        raise RuntimeError(
+            "streaming results changed with the shard layout or worker "
+            "count -- the block-substream contract is broken")
+    return {
+        "devices": n,
+        "shard_devices": [config.shard_devices,
+                          config.alt_shard_devices],
+        "workers": [1, config.workers],
+        "shard_invariant": shard_invariant,
+        "worker_invariant": worker_invariant,
+    }
+
+
+def run_experiment_benchmark(config: ExperimentBenchConfig | None = None,
+                             ) -> dict[str, Any]:
+    """Run all streaming-experiment benchmarks and assemble the doc.
+
+    Args:
+        config: Benchmark shape (defaults to
+            :class:`ExperimentBenchConfig`: 10^6 devices).
+
+    Returns:
+        The ``BENCH_experiment.json`` document (see
+        :func:`validate_experiment_bench` for the schema).
+
+    Raises:
+        RuntimeError: an invariance or identity check failed -- a
+            determinism bug that must fail loudly, never be recorded
+            as a benchmark row.
+    """
+    config = config if config is not None else ExperimentBenchConfig()
+    streaming = _bench_streaming(config)
+    memory = _bench_memory(config)
+    legacy = _bench_legacy(config)
+    invariance = _bench_invariance(config)
+    return {
+        "schema": EXPERIMENT_BENCH_SCHEMA,
+        "config": asdict(config),
+        "streaming": streaming,
+        "memory": memory,
+        "legacy": legacy,
+        "invariance": invariance,
+        # Headline figures: throughput of the big run, the equal-N win
+        # over the materialise-everything path, and the four
+        # determinism/memory flags the validator pins to true.
+        "devices_per_sec": streaming["devices_per_sec"],
+        "speedup_vs_legacy": legacy["speedup"],
+        "memory_independent": memory["memory_independent"],
+        "legacy_identical": legacy["legacy_identical"],
+        "shard_invariant": invariance["shard_invariant"],
+        "worker_invariant": invariance["worker_invariant"],
+    }
+
+
+def validate_experiment_bench(doc: Any) -> list[str]:
+    """Validate a BENCH_experiment.json document's schema and floors.
+
+    Beyond shape, enforces the acceptance floors: at least
+    :data:`MIN_DEVICES_PER_SEC` devices/sec on the streaming run, at
+    least a :data:`MIN_LEGACY_SPEEDUP` x equal-N speedup over the
+    legacy pipeline, and the ``memory_independent``,
+    ``legacy_identical``, ``shard_invariant`` and ``worker_invariant``
+    flags all true.
+
+    Args:
+        doc: Parsed JSON document.
+
+    Returns:
+        Human-readable problems; empty when the document is valid.
+    """
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    if doc.get("schema") != EXPERIMENT_BENCH_SCHEMA:
+        problems.append(f"schema != {EXPERIMENT_BENCH_SCHEMA!r}")
+    if not isinstance(doc.get("config"), dict):
+        problems.append("missing or non-object 'config'")
+    for section, fields in (
+            ("streaming", ("devices", "shards", "devices_per_sec")),
+            ("memory", ("small_peak_bytes", "large_peak_bytes",
+                        "peak_ratio")),
+            ("legacy", ("devices", "speedup")),
+            ("invariance", ("devices",))):
+        inner = doc.get(section)
+        if not isinstance(inner, dict):
+            problems.append(f"missing or non-object {section!r}")
+            continue
+        for field in fields:
+            if not isinstance(inner.get(field), (int, float)):
+                problems.append(
+                    f"{section}: missing or non-numeric {field!r}")
+    for field, floor in (("devices_per_sec", MIN_DEVICES_PER_SEC),
+                         ("speedup_vs_legacy", MIN_LEGACY_SPEEDUP)):
+        value = doc.get(field)
+        if not isinstance(value, (int, float)):
+            problems.append(f"missing or non-numeric {field!r}")
+        elif value < floor:
+            problems.append(
+                f"{field} = {value} is below the {floor} floor")
+    for flag in ("memory_independent", "legacy_identical",
+                 "shard_invariant", "worker_invariant"):
+        if doc.get(flag) is not True:
+            problems.append(f"{flag} is not true")
+    return problems

@@ -58,12 +58,12 @@ from repro.perf.executor import (
     _init_worker,
     _pool_context,
     chunk_units,
+    make_evaluator,
     merge_outcome_injections,
     probe_worker_faults,
 )
 from repro.runner.evaluate import (
     UnitDeadlineExceeded,
-    UnitEvaluator,
     UnitOutcome,
 )
 from repro.runner.retry import RetryPolicy, RetryStats
@@ -189,7 +189,7 @@ class SupervisedUnitExecutor:
         self.clock = clock
         self.stats = SupervisorStats()
         self._epoch = 0
-        self._parent_evaluator: UnitEvaluator | None = None
+        self._parent_evaluator: Any = None
         #: Per-unit pool-dispatch counts.  These -- not the per-chunk
         #: failure counts -- feed the chaos probes, because the pool
         #: can only blame the chunk it was *waiting on* for a breakage
@@ -375,10 +375,16 @@ class SupervisedUnitExecutor:
     # ------------------------------------------------------------------
     # Parent-side evaluation (poison retry and degraded-serial modes)
     # ------------------------------------------------------------------
-    def _evaluator(self) -> UnitEvaluator:
-        """The lazily-built in-parent fallback evaluator."""
+    def _evaluator(self) -> Any:
+        """The lazily-built in-parent fallback evaluator.
+
+        Built through :func:`repro.perf.executor.make_evaluator`, so a
+        campaign with its own ``unit_evaluator`` factory (the streaming
+        experiment engine) gets the same evaluator in the parent as in
+        the workers.
+        """
         if self._parent_evaluator is None:
-            self._parent_evaluator = UnitEvaluator(
+            self._parent_evaluator = make_evaluator(
                 self.campaign, retry=self.retry,
                 unit_deadline=self.unit_deadline,
                 sleep=self.sleep, clock=self.clock)
@@ -419,9 +425,14 @@ class SupervisedUnitExecutor:
         total``.  The ledger carries one whole-unit entry with the
         sentinel ``site_index == -1`` (real site entries are >= 0),
         which is how reports and ``campaign status`` count poison
-        units.
+        units.  An evaluator that defines ``poison_outcome`` (the
+        streaming engine's shard evaluator) synthesises its own.
         """
-        total = len(self._evaluator().population(unit.kind))
+        evaluator = self._evaluator()
+        poison = getattr(evaluator, "poison_outcome", None)
+        if callable(poison):
+            return poison(unit, attempts, error)
+        total = len(evaluator.population(unit.kind))
         record = CoverageRecord(
             kind=unit.kind.value,
             resistance=unit.resistance,

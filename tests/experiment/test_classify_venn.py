@@ -119,3 +119,50 @@ class TestEndToEndVennShape:
 
     def test_some_interesting_devices_exist(self, venn):
         assert venn.total > 0
+
+
+class TestVennMerge:
+    """The Venn reduce contract: merge/__add__ is a field-wise sum."""
+
+    A = VennCounts(vlv_only=3, vmax_only=1, atspeed_only=2, vlv_vmax=1)
+    B = VennCounts(vlv_only=2, vlv_atspeed=4, all_three=1)
+    C = VennCounts(vmax_only=5, vmax_atspeed=2)
+
+    def test_merge_is_fieldwise_addition(self):
+        merged = self.A.merge(self.B)
+        assert merged.vlv_only == 5
+        assert merged.vlv_atspeed == 4
+        assert merged.total == self.A.total + self.B.total
+
+    def test_add_and_merge_agree(self):
+        assert self.A + self.B == self.A.merge(self.B)
+
+    def test_merge_is_commutative(self):
+        assert self.A.merge(self.B) == self.B.merge(self.A)
+
+    def test_merge_is_associative(self):
+        left = (self.A + self.B) + self.C
+        right = self.A + (self.B + self.C)
+        assert left == right
+
+    def test_empty_is_identity(self):
+        assert self.A + VennCounts() == self.A
+
+    def test_originals_unchanged(self):
+        """VennCounts is frozen: merging returns a new value."""
+        self.A.merge(self.B)
+        assert self.A.vlv_only == 3
+        assert self.B.vlv_only == 2
+
+
+class TestEscapeDpmGuards:
+    """Satellite: zero-division audit of the DPM estimators."""
+
+    def test_empty_lot_has_no_escapes(self):
+        empty = ExperimentResult(records=[], n_devices=0)
+        assert empty.escape_dpm("VLV") == 0.0
+
+    def test_lot_without_interesting_devices(self):
+        result = ExperimentResult(
+            records=[DeviceRecord(VeqtorChip(0), True)], n_devices=100)
+        assert result.escape_dpm("VLV") == 0.0

@@ -85,3 +85,71 @@ class TestLotDiagnosis:
         diagnosis, _ = lot
         text = diagnosis.render()
         assert "diagnosed devices" in text
+
+
+class TestLotDiagnosisMerge:
+    """Shard-local diagnoses reduce into the lot view (streaming)."""
+
+    def _shard(self, diagnostician, defect, stress):
+        """A one-device shard-local LotDiagnosis."""
+        from collections import Counter
+
+        from repro.experiment.diagnosis import LotDiagnosis
+
+        device = diagnostician.diagnose_device(record_for(defect, stress))
+        lot = LotDiagnosis(devices=[device])
+        for condition, hint in device.hints.items():
+            lot.hint_histogram.setdefault(condition, Counter())[hint] += 1
+        return lot
+
+    def test_merge_concatenates_and_adds(self, diagnostician):
+        a = self._shard(
+            diagnostician,
+            bridge(BridgeSite.CELL_NODE_RAIL, 150e3, cell=100000,
+                   polarity=1),
+            ["VLV"])
+        b = self._shard(
+            diagnostician,
+            bridge(BridgeSite.CELL_NODE_RAIL, 150e3, cell=7,
+                   polarity=1),
+            ["VLV"])
+        a_hist = dict(a.hint_histogram.get("VLV", {}))
+        b_hist = dict(b.hint_histogram.get("VLV", {}))
+        merged = a.merge(b)
+        assert merged is a
+        assert len(merged.devices) == 2
+        for hint in set(a_hist) | set(b_hist):
+            assert merged.hint_histogram["VLV"][hint] == (
+                a_hist.get(hint, 0) + b_hist.get(hint, 0))
+
+    def test_merge_is_commutative_on_histograms(self, diagnostician):
+        def fresh():
+            return (
+                self._shard(
+                    diagnostician,
+                    bridge(BridgeSite.CELL_NODE_RAIL, 150e3,
+                           cell=100000, polarity=1), ["VLV"]),
+                self._shard(
+                    diagnostician,
+                    open_defect(OpenSite.CELL_PULLUP, 1e9, cell=3),
+                    ["at-speed"]),
+            )
+
+        a, b = fresh()
+        ab = a.merge(b).hint_histogram
+        a, b = fresh()
+        ba = b.merge(a).hint_histogram
+        assert ab == ba
+
+    def test_merge_with_empty_is_identity(self, diagnostician):
+        from repro.experiment.diagnosis import LotDiagnosis
+
+        lot = self._shard(
+            diagnostician,
+            bridge(BridgeSite.CELL_NODE_RAIL, 150e3, cell=100000,
+                   polarity=1),
+            ["VLV"])
+        before = dict(lot.hint_histogram.get("VLV", {}))
+        merged = lot.merge(LotDiagnosis())
+        assert len(merged.devices) == 1
+        assert dict(merged.hint_histogram["VLV"]) == before

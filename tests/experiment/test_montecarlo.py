@@ -6,6 +6,7 @@ from repro.experiment.montecarlo import (
     REGIONS,
     MonteCarloResult,
     RegionStats,
+    monte_carlo_seeds,
     run_monte_carlo,
 )
 from repro.experiment.venn import VennCounts
@@ -66,3 +67,50 @@ class TestRegionStats:
         s = RegionStats("x", [1, 2, 3])
         assert s.mean == pytest.approx(2.0)
         assert s.min == 1 and s.max == 3
+
+
+class TestSeedSchemes:
+    """Satellite: run seeds via SeedSequence.spawn behind a flag."""
+
+    def test_legacy_scheme_is_sequential(self):
+        assert monte_carlo_seeds(1105, 4) == [1105, 1106, 1107, 1108]
+        assert monte_carlo_seeds(1105, 4, scheme="legacy") == (
+            [1105, 1106, 1107, 1108])
+
+    def test_spawn_scheme_is_deterministic_and_distinct(self):
+        a = monte_carlo_seeds(1105, 6, scheme="spawn")
+        b = monte_carlo_seeds(1105, 6, scheme="spawn")
+        assert a == b
+        assert len(set(a)) == 6
+        assert a != monte_carlo_seeds(1106, 6, scheme="spawn")
+        assert a != [1105 + k for k in range(6)]
+
+    def test_spawn_prefix_is_stable(self):
+        """Growing n_runs extends, never reshuffles, the seed list."""
+        assert monte_carlo_seeds(7, 8, scheme="spawn")[:3] == (
+            monte_carlo_seeds(7, 3, scheme="spawn"))
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError, match="seed_scheme"):
+            monte_carlo_seeds(1105, 4, scheme="antithetic")
+
+    def test_run_monte_carlo_honours_scheme(self):
+        result = run_monte_carlo(n_runs=2, n_devices=400,
+                                 seed_scheme="spawn")
+        assert result.seeds == monte_carlo_seeds(1105, 2, scheme="spawn")
+
+
+class TestRegionStatsGuards:
+    """Satellite: zero-division audit of the summary statistics."""
+
+    def test_empty_stats_are_all_zero(self):
+        s = RegionStats("x")
+        assert s.mean == 0.0
+        assert s.std == 0.0
+        assert s.min == 0
+        assert s.max == 0
+
+    def test_single_run_std_is_zero(self):
+        s = RegionStats("x", [5])
+        assert s.mean == 5.0
+        assert s.std == 0.0

@@ -1,0 +1,109 @@
+"""Tests for the streaming-experiment benchmark and its artefact."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.perf.experiment_bench import (
+    EXPERIMENT_BENCH_SCHEMA,
+    MIN_DEVICES_PER_SEC,
+    MIN_LEGACY_SPEEDUP,
+    ExperimentBenchConfig,
+    run_experiment_benchmark,
+    validate_experiment_bench,
+)
+
+#: Smaller even than ``.quick()``: the invariance/identity halves are
+#: exact at any N and the throughput/speedup floors are structural, so
+#: the suite stays seconds-scale.
+TINY = ExperimentBenchConfig(devices=16_384,
+                             shard_devices=8192,
+                             alt_shard_devices=4096,
+                             memory_devices=(8192, 32_768),
+                             legacy_devices=4096,
+                             invariance_devices=8192)
+
+
+@pytest.fixture(scope="module")
+def experiment_doc():
+    """One tiny experiment benchmark run shared by the shape tests."""
+    return run_experiment_benchmark(TINY)
+
+
+class TestExperimentBenchDocument:
+    def test_schema_valid(self, experiment_doc):
+        assert validate_experiment_bench(experiment_doc) == []
+
+    def test_headline_fields(self, experiment_doc):
+        doc = experiment_doc
+        assert doc["schema"] == EXPERIMENT_BENCH_SCHEMA
+        assert doc["devices_per_sec"] >= MIN_DEVICES_PER_SEC
+        assert doc["speedup_vs_legacy"] >= MIN_LEGACY_SPEEDUP
+        assert doc["memory_independent"] is True
+        assert doc["legacy_identical"] is True
+        assert doc["shard_invariant"] is True
+        assert doc["worker_invariant"] is True
+
+    def test_streaming_section_covers_the_population(self, experiment_doc):
+        streaming = experiment_doc["streaming"]
+        assert streaming["devices"] == TINY.devices
+        assert streaming["shards"] == TINY.devices // TINY.shard_devices
+        assert streaming["defective"] > 0
+
+    def test_memory_section_records_both_peaks(self, experiment_doc):
+        memory = experiment_doc["memory"]
+        assert memory["small_devices"] < memory["large_devices"]
+        assert memory["small_peak_bytes"] > 0
+        assert memory["peak_ratio"] <= 1.25
+
+    def test_round_trips_through_json(self, experiment_doc):
+        doc = json.loads(json.dumps(experiment_doc))
+        assert validate_experiment_bench(doc) == []
+
+
+class TestValidateExperimentBench:
+    def test_rejects_non_object(self):
+        assert validate_experiment_bench(None) == [
+            "document is not a JSON object"]
+
+    def test_reports_each_defect(self):
+        problems = validate_experiment_bench({"schema": "wrong"})
+        assert any("schema" in p for p in problems)
+        assert any("streaming" in p for p in problems)
+        assert any("shard_invariant" in p for p in problems)
+
+    def test_enforces_throughput_floor(self, experiment_doc):
+        doc = json.loads(json.dumps(experiment_doc))
+        doc["devices_per_sec"] = MIN_DEVICES_PER_SEC / 2
+        problems = validate_experiment_bench(doc)
+        assert any("devices_per_sec" in p for p in problems)
+
+    def test_enforces_speedup_floor(self, experiment_doc):
+        doc = json.loads(json.dumps(experiment_doc))
+        doc["speedup_vs_legacy"] = MIN_LEGACY_SPEEDUP - 0.1
+        problems = validate_experiment_bench(doc)
+        assert any("speedup_vs_legacy" in p for p in problems)
+
+    def test_flags_failed_invariance(self, experiment_doc):
+        doc = json.loads(json.dumps(experiment_doc))
+        doc["worker_invariant"] = False
+        problems = validate_experiment_bench(doc)
+        assert problems == ["worker_invariant is not true"]
+
+    def test_committed_artifact_is_valid(self):
+        path = Path(__file__).resolve().parents[2] / (
+            "BENCH_experiment.json")
+        doc = json.loads(path.read_text())
+        assert validate_experiment_bench(doc) == []
+        assert doc["streaming"]["devices"] >= 1_000_000
+
+
+class TestConfig:
+    def test_quick_keeps_block_alignment(self):
+        config = ExperimentBenchConfig.quick()
+        assert config.devices % config.shard_devices == 0
+
+    def test_rejects_inverted_memory_probe(self):
+        with pytest.raises(ValueError, match="memory_devices"):
+            ExperimentBenchConfig(memory_devices=(65_536, 4096))

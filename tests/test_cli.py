@@ -328,3 +328,56 @@ class TestJournalCli:
                      "--cache", str(cache)]) == 0
         out = capsys.readouterr().out
         assert "cache:" in out
+
+
+class TestExperimentCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["experiment", "run"])
+        assert args.devices == 1_000_000
+        assert args.scheme == "spawn"
+        assert args.workers == 1
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment"])
+
+    def test_run_small_experiment(self, capsys, tmp_path):
+        journal = tmp_path / "exp.jsonl"
+        rc = main(["experiment", "run", "--devices", "8192",
+                   "--shard-devices", "4096",
+                   "--journal", str(journal)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "experiment complete" in out
+        assert "2 shard(s)" in out
+        assert "escape DPM (VLV)" in out
+        lines = [json.loads(line)
+                 for line in journal.read_text().splitlines()]
+        assert sum(e.get("event") == "experiment.shard"
+                   for e in lines) == 2
+
+    def test_resume_from_checkpoint(self, capsys, tmp_path):
+        ckpt = tmp_path / "exp.ckpt.json"
+        base = ["experiment", "run", "--devices", "8192",
+                "--shard-devices", "4096", "--checkpoint", str(ckpt),
+                "--checkpoint-every", "1"]
+        assert main(base) == 0
+        first = capsys.readouterr().out
+        assert main(base) == 0
+        second = capsys.readouterr().out
+        assert "2 resumed from checkpoint" in second
+        assert first.splitlines()[1] == second.splitlines()[1]
+
+    def test_chaos_worker_exit_heals(self, capsys):
+        rc = main(["experiment", "run", "--devices", "8192",
+                   "--shard-devices", "4096", "--workers", "2",
+                   "--chaos-worker-exit", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "worker losses 1" in out
+
+    def test_rejects_unknown_chaos_shard(self):
+        with pytest.raises(SystemExit, match="out of range"):
+            main(["experiment", "run", "--devices", "8192",
+                  "--shard-devices", "4096",
+                  "--chaos-worker-exit", "99"])
