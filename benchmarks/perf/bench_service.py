@@ -1,0 +1,80 @@
+"""Emit (or validate) the BENCH_service.json estimator-service benchmark.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_service.py
+    PYTHONPATH=src python benchmarks/perf/bench_service.py --quick
+    PYTHONPATH=src python benchmarks/perf/bench_service.py \
+        --validate BENCH_service.json
+
+Starts a real loopback listener over the shipped CMOS 0.18 um database
+and drives it over one keep-alive connection: cold pass (all cache
+misses, the estimator computing), warm pass (all hits -- the validator
+pins the warm hit rate to exactly 1.0), plus a byte-identity check of
+every response against the in-process estimator.  See
+``docs/service.md`` for how to read the output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.runner.atomic import atomic_write_text
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="Benchmark the estimator service over a live "
+                    "loopback listener and pin its cache and "
+                    "byte-identity contracts.")
+    parser.add_argument("--out", metavar="PATH",
+                        default="BENCH_service.json",
+                        help="output file (default: BENCH_service.json)")
+    parser.add_argument("--quick", action="store_true",
+                        help="sub-second configuration for smoke runs")
+    parser.add_argument("--validate", metavar="PATH", default=None,
+                        help="validate an existing benchmark file and "
+                             "exit (no benchmark run)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    from repro.perf.service_bench import (
+        ServiceBenchConfig,
+        run_service_benchmark,
+        validate_service_bench,
+    )
+
+    args = _parser().parse_args(argv)
+    if args.validate is not None:
+        doc = json.loads(Path(args.validate).read_text())
+        problems = validate_service_bench(doc)
+        for problem in problems:
+            print(f"BENCH schema: {problem}", file=sys.stderr)
+        print(f"{args.validate}: "
+              + ("OK" if not problems else f"{len(problems)} problem(s)"))
+        return 0 if not problems else 1
+
+    config = (ServiceBenchConfig.quick() if args.quick
+              else ServiceBenchConfig())
+    doc = run_service_benchmark(config)
+    atomic_write_text(args.out, json.dumps(doc, indent=2,
+                                           sort_keys=True) + "\n")
+    cold, warm = doc["cold"], doc["warm"]
+    print(f"wrote {args.out}")
+    print(f"  cold: {cold['requests']} requests, p50 {cold['p50_ms']}ms "
+          f"p99 {cold['p99_ms']}ms ({cold['qps']} req/sec, all misses)")
+    print(f"  warm: {warm['requests']} requests, p50 {warm['p50_ms']}ms "
+          f"p99 {warm['p99_ms']}ms ({doc['qps']} req/sec, "
+          f"hit_rate={doc['warm_hit_rate']})")
+    print(f"  identity: {doc['identity']['checked_requests']} response "
+          f"bodies byte-identical to the in-process estimator: "
+          f"{doc['byte_identical']}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -44,7 +44,7 @@ python -m repro lint "${lint_flags[@]}" code src tests benchmarks scripts \
 echo "== docs (dead-link check) =="
 python scripts/check_links.py || status=$?
 
-echo "== docs (public docstrings: runner / perf / obs / lint.code) =="
+echo "== docs (public docstrings: runner / perf / obs / lint.code / service) =="
 python scripts/check_docstrings.py || status=$?
 
 echo "== benchmark smoke (BENCH_campaign.json schema) =="
@@ -73,6 +73,90 @@ python benchmarks/perf/bench_experiment.py --quick --out "$experiment_out" \
 python benchmarks/perf/bench_experiment.py --validate BENCH_experiment.json \
     || status=$?
 rm -f "$experiment_out"
+
+echo "== benchmark smoke (BENCH_service.json schema + qps/hit-rate floors) =="
+service_out="$(mktemp /tmp/service_smoke.XXXXXX.json)"
+python benchmarks/perf/bench_service.py --quick --out "$service_out" \
+    && python benchmarks/perf/bench_service.py --validate "$service_out" \
+    || status=$?
+python benchmarks/perf/bench_service.py --validate BENCH_service.json \
+    || status=$?
+rm -f "$service_out"
+
+echo "== service smoke (repro serve: estimate/cache/reload-reject chain) =="
+svc_db="$(mktemp /tmp/service_smoke_db.XXXXXX.json)"
+svc_journal="$(mktemp /tmp/service_smoke.XXXXXX.jsonl)"
+svc_log="$(mktemp /tmp/service_smoke_log.XXXXXX.txt)"
+python -m repro campaign run --rows 8 --columns 2 --bits 4 --sites 40 \
+    --save-db "$svc_db" >/dev/null || status=$?
+python -m repro serve --db "$svc_db" --port 0 --journal "$svc_journal" \
+    >"$svc_log" 2>&1 &
+svc_pid=$!
+svc_port=""
+for _ in $(seq 1 100); do
+    svc_port="$(sed -n 's#^serving on http://127.0.0.1:##p' "$svc_log")"
+    [ -n "$svc_port" ] && break
+    sleep 0.1
+done
+if [ -z "$svc_port" ]; then
+    echo "service smoke: server never announced its port"
+    cat "$svc_log"
+    status=1
+else
+    python - "$svc_port" "$svc_db" <<'PYEOF' || status=$?
+import json
+import socket
+import sys
+
+port, db = int(sys.argv[1]), sys.argv[2]
+
+
+def http(method, path, body=b""):
+    s = socket.create_connection(("127.0.0.1", port))
+    s.sendall((f"{method} {path} HTTP/1.1\r\nHost: smoke\r\n"
+               f"Content-Length: {len(body)}\r\n"
+               "Connection: close\r\n\r\n").encode() + body)
+    data = b""
+    while chunk := s.recv(65536):
+        data += chunk
+    s.close()
+    head, _, payload = data.partition(b"\r\n\r\n")
+    headers = {}
+    for line in head.split(b"\r\n")[1:]:
+        name, _, value = line.decode().partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return int(head.split(b" ")[1]), headers, payload
+
+
+status, _, payload = http("GET", "/v1/health")
+assert status == 200, (status, payload)
+body = json.dumps({"queries": [{"geometry": {
+    "rows": 8, "columns": 2, "bits_per_word": 4},
+    "kind": "bridge"}]}).encode()
+s1, h1, p1 = http("POST", "/v1/estimate", body)
+assert s1 == 200 and h1["x-cache"] == "miss", (s1, h1)
+s2, h2, p2 = http("POST", "/v1/estimate", body)
+assert s2 == 200 and h2["x-cache"] == "hit" and p1 == p2, (s2, h2)
+s3, _, p3 = http("POST", "/v1/reload")
+assert s3 == 200 and json.loads(p3)["outcome"] == "unchanged", p3
+with open(db, "r+") as fh:
+    fh.write("corrupt!")
+s4, _, p4 = http("POST", "/v1/reload")
+assert s4 == 409 and json.loads(p4)["outcome"] == "rejected", (s4, p4)
+s5, _, p5 = http("POST", "/v1/estimate", body)
+assert s5 == 200 and p5 == p1, "old snapshot must keep serving"
+print("service smoke: estimate/cache/reload-reject chain ok")
+PYEOF
+fi
+kill "$svc_pid" 2>/dev/null || true
+wait "$svc_pid" 2>/dev/null || true
+for event in service.request service.reload; do
+    if ! grep -qF "\"$event\"" "$svc_journal"; then
+        echo "service smoke: journal missing $event event"
+        status=1
+    fi
+done
+rm -f "$svc_db" "$svc_journal" "$svc_log"
 
 echo "== streaming-experiment smoke (experiment run --journal -> repro report) =="
 exp_journal="$(mktemp /tmp/experiment_smoke.XXXXXX.jsonl)"

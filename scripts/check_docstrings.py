@@ -23,7 +23,7 @@ from pathlib import Path
 
 #: Packages whose public API must be documented.
 PACKAGES = ("src/repro/runner", "src/repro/perf", "src/repro/obs",
-            "src/repro/lint/code")
+            "src/repro/lint/code", "src/repro/service")
 
 
 def _missing_in(path: Path, root: Path) -> list[str]:

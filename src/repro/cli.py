@@ -13,6 +13,7 @@ equivalent front door::
     python -m repro campaign run --workers 4 --cache cache.json
     python -m repro campaign resume ck.json --workers 4
     python -m repro campaign status ck.json
+    python -m repro serve --db coverage.json --port 8765
 
 Every subcommand prints the same text artefacts the library's
 benchmarks assert on.
@@ -615,6 +616,60 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    from pathlib import Path
+
+    from repro.core.database import DatabaseCorruptError
+    from repro.obs.metrics import MetricsRegistry
+    from repro.service import (
+        DatabaseSnapshot,
+        EstimatorService,
+        ServiceState,
+        serve,
+    )
+
+    if args.db:
+        db_path = Path(args.db)
+    else:
+        from repro.core.database import default_database_path
+
+        db_path = default_database_path()
+    try:
+        snapshot = DatabaseSnapshot.load(db_path)
+    except (FileNotFoundError, DatabaseCorruptError) as exc:
+        print(f"repro serve: {exc}", file=sys.stderr)
+        return 2
+    bus = None
+    if args.journal:
+        from repro.obs.bus import EventBus
+
+        bus = EventBus(args.journal,
+                       meta={"tool": "serve", "etag": snapshot.etag})
+    service = EstimatorService(ServiceState(snapshot, db_path),
+                               cache_size=args.cache_size, bus=bus,
+                               metrics=MetricsRegistry())
+
+    async def _run() -> None:
+        server = await serve(service, args.host, args.port)
+        port = server.sockets[0].getsockname()[1]
+        print(f"serving on http://{args.host}:{port}", flush=True)
+        print(f"database: {db_path} ({len(snapshot.database)} records, "
+              f"etag {snapshot.etag[:12]}...)", flush=True)
+        async with server:
+            await server.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        if bus is not None:
+            bus.flush()
+            print(f"run journal: {args.journal}")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     if args.journal:
         from repro.obs.bus import JournalError, read_journal
@@ -895,6 +950,36 @@ def build_parser() -> argparse.ArgumentParser:
                     help="also inspect this evaluation-cache file "
                          "(entry count, discarded-corrupt forensics)")
     cp.set_defaults(func=_cmd_campaign_status)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the estimator as an async HTTP/JSON service",
+        description="Serve batch fault-coverage/DPM queries over a "
+                    "pre-calculated coverage database: POST "
+                    "/v1/estimate (batched geometries x kinds x "
+                    "condition sets), POST /v1/reload (validated "
+                    "hot-swap of the database file), GET /v1/health.  "
+                    "Responses are byte-identical to in-process "
+                    "estimator calls and cached under a "
+                    "(database-fingerprint, canonical-request) key.  "
+                    "See docs/service.md.")
+    p.add_argument("--db", metavar="PATH", default=None,
+                   help="coverage database to serve (default: the "
+                        "shipped CMOS 0.18 um database); /v1/reload "
+                        "re-reads this file")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (loopback by default)")
+    p.add_argument("--port", type=int, default=8765,
+                   help="TCP port (0 = pick an ephemeral port and "
+                        "print it)")
+    p.add_argument("--cache-size", type=int, default=1024,
+                   help="response-cache capacity in entries "
+                        "(0 disables caching)")
+    p.add_argument("--journal", metavar="PATH", default=None,
+                   help="write a JSONL run journal of every request, "
+                        "cache hit and reload (inspect with `repro "
+                        "report PATH`)")
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
         "report",

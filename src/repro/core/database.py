@@ -65,6 +65,24 @@ class CoverageDatabase:
     # Population
     # ------------------------------------------------------------------
     def add_records(self, records: list[CoverageRecord]) -> None:
+        """Append records and rebuild the query index.
+
+        Raises:
+            ValueError: a record carries a non-positive or non-finite
+                resistance.  The log-R interpolation in
+                :meth:`coverage` takes ``log(R)`` of every stored
+                sweep point, so one bad row would poison every
+                interpolated query with a bare ``math domain error``;
+                rejecting it here names the offending record instead.
+        """
+        for i, rec in enumerate(records):
+            if not (rec.resistance > 0.0
+                    and math.isfinite(rec.resistance)):
+                raise ValueError(
+                    f"record {i} (kind={rec.kind!r}, "
+                    f"condition={rec.condition!r}) has non-positive or "
+                    f"non-finite resistance {rec.resistance!r}; "
+                    "log-R interpolation requires R > 0")
         self._records.extend(records)
         self._rebuild_index()
 
@@ -85,6 +103,10 @@ class CoverageDatabase:
     @property
     def records(self) -> list[CoverageRecord]:
         return list(self._records)
+
+    def kinds(self) -> list[str]:
+        """Defect kinds with at least one stored record."""
+        return sorted({k for (k, _) in self._index})
 
     def conditions(self, kind: str = "bridge") -> list[str]:
         return sorted({c for (k, c) in self._index if k == kind})
@@ -238,10 +260,21 @@ class CoverageDatabase:
                     path, f"record row {i} is missing key(s) "
                           f"{', '.join(repr(k) for k in missing)}")
             try:
-                records.append(CoverageRecord(**row))
+                record = CoverageRecord(**row)
             except (TypeError, ValueError) as exc:
                 raise DatabaseCorruptError(
                     path, f"record row {i} is malformed: {exc}") from exc
+            resistance = record.resistance
+            if not (isinstance(resistance, (int, float))
+                    and not isinstance(resistance, bool)
+                    and resistance > 0.0 and math.isfinite(resistance)):
+                raise DatabaseCorruptError(
+                    path, f"record row {i} (kind={record.kind!r}, "
+                          f"condition={record.condition!r}) has "
+                          f"non-positive or non-finite resistance "
+                          f"{resistance!r}; log-R interpolation "
+                          "requires R > 0")
+            records.append(record)
         return records
 
     @classmethod
@@ -321,6 +354,12 @@ class CoverageDatabase:
             f"(and no recoverable {tmp.name})")
 
 
+def default_database_path() -> Path:
+    """Path of the pre-calculated database shipped with the package."""
+    return Path(__file__).resolve().parent.parent / "data" / \
+        "cmos018_coverage.json"
+
+
 def load_default_database() -> CoverageDatabase:
     """The pre-calculated CMOS 0.18 um database shipped with the package.
 
@@ -329,6 +368,4 @@ def load_default_database() -> CoverageDatabase:
     paper describes -- "we relieve the users from the burden of running
     a time consuming IFA analysis".
     """
-    path = Path(__file__).resolve().parent.parent / "data" / \
-        "cmos018_coverage.json"
-    return CoverageDatabase.load(path)
+    return CoverageDatabase.load(default_database_path())

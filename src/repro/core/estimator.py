@@ -32,6 +32,17 @@ from repro.defects.distribution import (
 from repro.memory.geometry import MemoryGeometry
 
 
+class EmptyReportError(ValueError):
+    """An :class:`EstimatorReport` with no condition estimates was queried.
+
+    :meth:`FaultCoverageEstimator.estimate` never builds such a report
+    (a kind absent from the database raises ``KeyError`` up front), so
+    this only fires on hand-built reports -- but when it does, the
+    message names the report instead of the bare ``min() arg is an
+    empty sequence`` it used to surface.
+    """
+
+
 @dataclass(frozen=True)
 class ConditionEstimate:
     """Estimator output for one stress condition.
@@ -57,7 +68,17 @@ class ConditionEstimate:
     relative_coverage: float = field(default=0.0)
 
     def with_normalisation(self, best_dpm: float) -> "ConditionEstimate":
-        norm = self.dpm / best_dpm if best_dpm > 0 else float("inf")
+        """This estimate with ``dpm_normalised`` set against ``best_dpm``.
+
+        A perfect-coverage suite has ``best_dpm == 0``; the best
+        condition's ``0/0`` then normalises to ``1.0`` (it is exactly
+        as good as itself, the paper's "1x"), not ``inf``.  A non-zero
+        DPM against a zero best is genuinely infinitely worse.
+        """
+        if best_dpm > 0:
+            norm = self.dpm / best_dpm
+        else:
+            norm = 1.0 if self.dpm <= 0 else float("inf")
         return ConditionEstimate(self.condition, self.fault_coverage,
                                  self.defect_coverage, self.dpm, norm,
                                  self.relative_coverage)
@@ -80,6 +101,15 @@ class EstimatorReport:
     estimates: tuple[ConditionEstimate, ...]
 
     def best_condition(self) -> ConditionEstimate:
+        """The condition with the lowest DPM.
+
+        Raises:
+            EmptyReportError: the report carries no estimates.
+        """
+        if not self.estimates:
+            raise EmptyReportError(
+                f"estimator report for kind={self.kind!r} "
+                f"({self.geometry}) has no condition estimates")
         return min(self.estimates, key=lambda e: e.dpm)
 
     def by_condition(self, name: str) -> ConditionEstimate:
@@ -89,11 +119,17 @@ class EstimatorReport:
         raise KeyError(f"no estimate for condition {name!r}")
 
     def dpm_ratio(self, worse: str, better: str) -> float:
-        """E.g. ``dpm_ratio('Vmax', 'VLV')`` -- the paper's ~9.3x."""
+        """E.g. ``dpm_ratio('Vmax', 'VLV')`` -- the paper's ~9.3x.
+
+        ``0/0`` (both conditions escape-free) is ``1.0`` -- equal, not
+        infinitely worse; only a non-zero DPM over a zero one is
+        ``inf``.
+        """
         b = self.by_condition(better).dpm
+        w = self.by_condition(worse).dpm
         if b <= 0:
-            return float("inf")
-        return self.by_condition(worse).dpm / b
+            return 1.0 if w <= 0 else float("inf")
+        return w / b
 
 
 class FaultCoverageEstimator:
@@ -139,9 +175,20 @@ class FaultCoverageEstimator:
         Returns:
             An :class:`EstimatorReport` with per-condition coverage and
             normalised DPM.
+
+        Raises:
+            ValueError: ``kind`` is not a defect kind, or the yield is
+                outside ``(0, 1]``.
+            KeyError: the database holds no records for ``kind`` (same
+                message path as
+                :meth:`~repro.core.database.CoverageDatabase.coverage`).
         """
         if kind not in ("bridge", "open"):
             raise ValueError("kind must be 'bridge' or 'open'")
+        if not self.database.conditions(kind):
+            raise KeyError(
+                f"no records for kind={kind!r}; "
+                f"available kinds: {self.database.kinds()}")
         dist = (self.bridge_distribution if kind == "bridge"
                 else self.open_distribution)
         y = (self.yield_for(geometry) if yield_fraction is None

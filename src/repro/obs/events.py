@@ -84,6 +84,10 @@ EVENT_CATALOG: dict[str, tuple[str, ...]] = {
                      "stage"),
     # Coverage database --------------------------------------------------
     "database.discard_corrupt_tmp": ("path", "error"),
+    # Estimator service (single-process; see docs/service.md) -----------
+    "service.request": ("method", "path", "status", "queries", "cached"),
+    "service.cache_hit": ("key",),
+    "service.reload": ("outcome", "etag"),
     # Shmoo runner -------------------------------------------------------
     "shmoo.start": ("strategy", "voltages", "periods"),
     "shmoo.row": ("row", "vdd", "first_pass"),

@@ -53,7 +53,8 @@ def build_report(meta: dict[str, Any],
         table, cache statistics (including corrupt discards), retry /
         quarantine / frontier-demotion tables, pool-supervision
         counters (worker losses, rebuilds, poison units), checkpoint
-        activity and -- when present -- a shmoo summary.
+        activity and -- when present -- shmoo, streaming-experiment
+        and estimator-service summaries.
     """
     events = list(events)
     totals: dict[str, Any] = {"events": len(events)}
@@ -75,7 +76,15 @@ def build_report(meta: dict[str, Any],
     database = {"discarded_corrupt_tmp": []}
     shmoo: dict[str, Any] | None = None
     experiment: dict[str, Any] | None = None
+    service: dict[str, Any] | None = None
     sources: dict[str, int] = {}
+
+    def service_section() -> dict[str, Any]:
+        nonlocal service
+        if service is None:
+            service = {"requests": 0, "queries": 0, "cached": 0,
+                       "by_status": {}, "cache_hits": 0, "reloads": []}
+        return service
 
     for event in events:
         data = event.data
@@ -161,6 +170,18 @@ def build_report(meta: dict[str, Any],
             sources_row = experiment["shard_sources"]
             sources_row[data["source"]] = (
                 sources_row.get(data["source"], 0) + 1)
+        elif event.name == "service.request":
+            row = service_section()
+            row["requests"] += 1
+            row["queries"] += data["queries"]
+            if data["cached"]:
+                row["cached"] += 1
+            status = str(data["status"])
+            row["by_status"][status] = row["by_status"].get(status, 0) + 1
+        elif event.name == "service.cache_hit":
+            service_section()["cache_hits"] += 1
+        elif event.name == "service.reload":
+            service_section()["reloads"].append(dict(data))
         elif event.name == "experiment.merge" and experiment is not None:
             # The merge event is authoritative (it carries the reduced
             # accumulator); per-shard sums above double as a
@@ -191,6 +212,7 @@ def build_report(meta: dict[str, Any],
         "database": database,
         "shmoo": shmoo,
         "experiment": experiment,
+        "service": service,
     }
 
 
@@ -346,4 +368,27 @@ def render_text(report: dict[str, Any]) -> str:
             f"{name}={count}" for name, count in
             sorted(experiment["shard_sources"].items()))
         lines.append(f"  shard sources: {source_bits}")
+
+    service = report.get("service")
+    if service is not None:
+        lines.append("")
+        status_bits = ", ".join(
+            f"{status}={count}" for status, count in
+            sorted(service["by_status"].items()))
+        lines.append(
+            "Service: requests={} queries={} cache_hits={} "
+            "cached_responses={}".format(
+                service["requests"], service["queries"],
+                service["cache_hits"], service["cached"]))
+        lines.append(f"  by status: {status_bits or '(none)'}")
+        lines.append("  reloads:")
+        if service["reloads"]:
+            for entry in service["reloads"]:
+                bits = "{}: etag={}".format(
+                    entry["outcome"], entry["etag"][:12])
+                if "error" in entry:
+                    bits += f" error={entry['error']}"
+                lines.append(f"    {bits}")
+        else:
+            lines.append("    (none)")
     return "\n".join(lines) + "\n"

@@ -209,6 +209,53 @@ class TestCorruption:
             CoverageDatabase.load(path)
 
 
+class TestResistanceValidation:
+    """Non-positive/non-finite R would poison log-R interpolation with
+    a bare ``math domain error``; both ingestion paths reject it by
+    naming the offending record instead."""
+
+    @pytest.mark.parametrize("bad_r", [0.0, -1e3, float("inf"),
+                                       float("nan")])
+    def test_add_records_rejects_bad_resistance(self, bad_r):
+        with pytest.raises(ValueError,
+                           match=r"record 1 \(kind='bridge', "
+                                 r"condition='VLV'\)"):
+            CoverageDatabase([rec("bridge", 1e3, "VLV", 90),
+                              rec("bridge", bad_r, "VLV", 80)])
+
+    def test_valid_resistances_still_interpolate(self):
+        db = CoverageDatabase([rec("bridge", 1e2, "VLV", 100),
+                               rec("bridge", 1e4, "VLV", 90)])
+        assert db.coverage("bridge", "VLV", 1e3) == pytest.approx(0.95)
+
+    @pytest.mark.parametrize("bad_r", [0.0, -5.0])
+    def test_load_rejects_bad_resistance_naming_row(self, tmp_path,
+                                                    bad_r):
+        path = tmp_path / "coverage.json"
+        path.write_text(json.dumps([
+            {"kind": "bridge", "resistance": 1e3, "condition": "VLV",
+             "vdd": 1.8, "period": 1e-7, "detected": 9, "total": 10},
+            {"kind": "bridge", "resistance": bad_r, "condition": "VLV",
+             "vdd": 1.8, "period": 1e-7, "detected": 9, "total": 10},
+        ]))
+        with pytest.raises(DatabaseCorruptError,
+                           match="row 1 .*non-positive or non-finite"):
+            CoverageDatabase.load(path)
+
+    def test_load_rejects_non_numeric_resistance(self, tmp_path):
+        path = tmp_path / "coverage.json"
+        path.write_text(json.dumps([
+            {"kind": "bridge", "resistance": "1e3", "condition": "VLV",
+             "vdd": 1.8, "period": 1e-7, "detected": 9, "total": 10},
+        ]))
+        with pytest.raises(DatabaseCorruptError, match="row 0"):
+            CoverageDatabase.load(path)
+
+    def test_kinds_lists_stored_kinds(self, db):
+        db.add_records([rec("open", 1e5, "Vmax", 60)])
+        assert db.kinds() == ["bridge", "open"]
+
+
 class TestIncrementalAdd:
     def test_add_rebuilds_index(self, db):
         db.add_records([rec("open", 1e5, "Vmax", 60)])

@@ -3,7 +3,12 @@
 import pytest
 
 from repro.core.database import CoverageDatabase
-from repro.core.estimator import FaultCoverageEstimator
+from repro.core.estimator import (
+    ConditionEstimate,
+    EmptyReportError,
+    EstimatorReport,
+    FaultCoverageEstimator,
+)
 from repro.core.flow import MemoryTestFlow
 from repro.ifa.flow import CoverageRecord
 from repro.memory.geometry import VEQTOR4_INSTANCE, MemoryGeometry
@@ -114,6 +119,63 @@ class TestFlowPlumbing:
     def test_flow_validates_n_sites(self):
         with pytest.raises(ValueError):
             MemoryTestFlow(MemoryGeometry(4, 2, 2), n_sites=0)
+
+
+class TestZeroDpmNormalisation:
+    """Perfect-coverage suites: 0/0 DPM normalises to 1.0, never inf."""
+
+    def test_perfect_suite_normalises_to_one(self):
+        db = CoverageDatabase([rec("bridge", 1e3, "VLV", 100),
+                               rec("bridge", 1e3, "Vmax", 100)])
+        rep = FaultCoverageEstimator(db).estimate(
+            MemoryGeometry(4, 2, 2), "bridge")
+        for e in rep.estimates:
+            assert e.dpm == 0.0
+            assert e.dpm_normalised == 1.0
+
+    def test_imperfect_condition_against_perfect_best_is_inf(self):
+        db = CoverageDatabase([rec("bridge", 1e3, "VLV", 100),
+                               rec("bridge", 1e3, "Vmax", 60)])
+        rep = FaultCoverageEstimator(db).estimate(
+            MemoryGeometry(4, 2, 2), "bridge")
+        assert rep.by_condition("VLV").dpm_normalised == 1.0
+        assert rep.by_condition("Vmax").dpm_normalised == float("inf")
+
+    def test_with_normalisation_zero_over_zero(self):
+        est = ConditionEstimate("VLV", {1e3: 1.0}, 1.0, dpm=0.0)
+        assert est.with_normalisation(0.0).dpm_normalised == 1.0
+
+    def test_dpm_ratio_both_zero_is_one(self):
+        db = CoverageDatabase([rec("bridge", 1e3, "VLV", 100),
+                               rec("bridge", 1e3, "Vmax", 100)])
+        rep = FaultCoverageEstimator(db).estimate(
+            MemoryGeometry(4, 2, 2), "bridge")
+        assert rep.dpm_ratio("Vmax", "VLV") == 1.0
+
+    def test_dpm_ratio_nonzero_over_zero_is_inf(self):
+        db = CoverageDatabase([rec("bridge", 1e3, "VLV", 100),
+                               rec("bridge", 1e3, "Vmax", 60)])
+        rep = FaultCoverageEstimator(db).estimate(
+            MemoryGeometry(4, 2, 2), "bridge")
+        assert rep.dpm_ratio("Vmax", "VLV") == float("inf")
+
+
+class TestNamedErrors:
+    def test_empty_report_best_condition(self):
+        report = EstimatorReport("bridge", MemoryGeometry(4, 2, 2),
+                                 1.0, ())
+        with pytest.raises(EmptyReportError,
+                           match="no condition estimates"):
+            report.best_condition()
+
+    def test_empty_report_error_is_a_value_error(self):
+        assert issubclass(EmptyReportError, ValueError)
+
+    def test_absent_kind_raises_named_keyerror(self):
+        db = CoverageDatabase([rec("bridge", 1e3, "VLV", 90)])
+        est = FaultCoverageEstimator(db)
+        with pytest.raises(KeyError, match="no records for kind='open'"):
+            est.estimate(MemoryGeometry(4, 2, 2), "open")
 
 
 class TestRelativeCoverage:

@@ -123,6 +123,39 @@ class TestBuildReport:
             "strategy": "boundary", "voltages": 4, "periods": 6,
             "rows": 2, "fallbacks": 1, "tester_invocations": 17}
 
+    def test_service_section_absent_without_service_events(self):
+        assert build_report({}, [])["service"] is None
+
+    def test_service_section_folds_traffic(self):
+        bus = EventBus()
+        bus.emit("service.request", method="POST", path="/v1/estimate",
+                 status=200, queries=3, cached=False)
+        bus.emit("service.cache_hit", key="a" * 64)
+        bus.emit("service.request", method="POST", path="/v1/estimate",
+                 status=200, queries=3, cached=True)
+        bus.emit("service.request", method="POST", path="/v1/estimate",
+                 status=400, queries=0, cached=False)
+        bus.emit("service.reload", outcome="rejected", etag="e" * 64,
+                 error="corrupt")
+        bus.emit("service.request", method="POST", path="/v1/reload",
+                 status=409, queries=0, cached=False)
+        report = build_report({}, bus.events)
+        assert report["service"] == {
+            "requests": 4, "queries": 6, "cached": 1,
+            "by_status": {"200": 2, "400": 1, "409": 1},
+            "cache_hits": 1,
+            "reloads": [{"outcome": "rejected", "etag": "e" * 64,
+                         "error": "corrupt"}]}
+
+    def test_service_section_renders_in_text(self):
+        bus = EventBus()
+        bus.emit("service.request", method="POST", path="/v1/estimate",
+                 status=200, queries=1, cached=False)
+        bus.emit("service.reload", outcome="unchanged", etag="e" * 64)
+        text = render_text(build_report({}, bus.events))
+        assert "Service: requests=1" in text
+        assert "unchanged: etag=eeeeeeeeeeee" in text
+
 
 class TestRendering:
     def test_text_always_prints_forensics_sections(self):

@@ -1,0 +1,72 @@
+"""Tests for repro.service.cache: LRU bound and content addressing."""
+
+import pytest
+
+from repro.service.cache import ResponseCache, response_cache_key
+
+
+class TestResponseCacheKey:
+    def test_deterministic(self):
+        assert (response_cache_key("etag", "body")
+                == response_cache_key("etag", "body"))
+
+    def test_either_half_changes_key(self):
+        base = response_cache_key("etag", "body")
+        assert response_cache_key("etag2", "body") != base
+        assert response_cache_key("etag", "body2") != base
+
+    def test_halves_do_not_concatenate_ambiguously(self):
+        """The separator keeps ("ab","c") and ("a","bc") apart."""
+        assert (response_cache_key("ab", "c")
+                != response_cache_key("a", "bc"))
+
+
+class TestResponseCache:
+    def test_roundtrip_and_counters(self):
+        cache = ResponseCache(4)
+        assert cache.get("k") is None
+        cache.put("k", b"v")
+        assert cache.get("k") == b"v"
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_lru_eviction_order(self):
+        cache = ResponseCache(2)
+        cache.put("a", b"1")
+        cache.put("b", b"2")
+        cache.get("a")          # refresh a; b is now LRU
+        cache.put("c", b"3")
+        assert cache.get("b") is None
+        assert cache.get("a") == b"1"
+        assert cache.get("c") == b"3"
+        assert cache.evictions == 1
+
+    def test_overwrite_refreshes_without_evicting(self):
+        cache = ResponseCache(2)
+        cache.put("a", b"1")
+        cache.put("b", b"2")
+        cache.put("a", b"updated")
+        assert len(cache) == 2
+        assert cache.get("a") == b"updated"
+        assert cache.evictions == 0
+
+    def test_zero_capacity_disables_storage(self):
+        cache = ResponseCache(0)
+        cache.put("k", b"v")
+        assert cache.get("k") is None
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError, match="max_entries"):
+            ResponseCache(-1)
+
+    def test_stats_shape(self):
+        cache = ResponseCache(4)
+        cache.put("k", b"v")
+        cache.get("k")
+        cache.get("absent")
+        stats = cache.stats()
+        assert stats == {"entries": 1, "max_entries": 4, "hits": 1,
+                         "misses": 1, "evictions": 0, "hit_rate": 0.5}
+
+    def test_stats_hit_rate_none_before_any_probe(self):
+        assert ResponseCache(4).stats()["hit_rate"] is None
